@@ -1,0 +1,93 @@
+"""E2 — server work per epoch versus number of receivers.
+
+Paper claims (§1, §5.3.1, §2.2): the passive server broadcasts a
+*single* update per time instant "no matter how many users there are";
+Mont et al.'s vault must extract and individually deliver one key per
+registered receiver per epoch; Rivest's public-key variant must
+pre-publish a directory that grows with the release-time horizon.
+
+Rows: per-epoch server messages and bytes for n = 1, 10, 100, 1000
+receivers, plus the Rivest directory size for the matching horizon.
+Expected shape: TRE flat at 1 message; Mont linear in n; Rivest linear
+in horizon.
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis import format_table
+from repro.baselines.mont_vault import MontTimeVault
+from repro.baselines.rivest_server import RivestPublicKeyServer
+from repro.core.timeserver import PassiveTimeServer
+from repro.crypto.rng import seeded_rng
+
+RECEIVER_COUNTS = (1, 10, 100, 1000)
+
+
+def _tre_epoch_cost(group, label):
+    server = PassiveTimeServer(group, rng=seeded_rng("e2-tre"))
+    update = server.publish_update(label)
+    return 1, len(update.to_bytes(group))
+
+
+def _mont_epoch_cost(group, receivers, label):
+    vault = MontTimeVault(group, seeded_rng("e2-mont"))
+    for index in range(receivers):
+        vault.register_receiver(f"user-{index}".encode())
+    vault.start_epoch(label)
+    return vault.keys_delivered, vault.bytes_delivered
+
+
+def test_e2_tre_publish_update(benchmark, toy_group):
+    server = PassiveTimeServer(toy_group, rng=seeded_rng("e2-bench"))
+    counter = iter(range(10**9))
+
+    def publish():
+        server.publish_update(f"epoch-{next(counter)}".encode())
+
+    benchmark(publish)
+
+
+def test_e2_mont_epoch_100_receivers(benchmark, toy_group):
+    vault = MontTimeVault(toy_group, seeded_rng("e2-bench-mont"))
+    for index in range(100):
+        vault.register_receiver(f"user-{index}".encode())
+    counter = iter(range(10**9))
+
+    def start_epoch():
+        vault.start_epoch(f"epoch-{next(counter)}".encode())
+
+    benchmark(start_epoch)
+
+
+def test_e2_claim_table(benchmark, toy_group):
+    group = toy_group
+    rows = []
+    for receivers in RECEIVER_COUNTS:
+        tre_msgs, tre_bytes = _tre_epoch_cost(group, b"T")
+        mont_msgs, mont_bytes = _mont_epoch_cost(group, receivers, b"T")
+        rivest = RivestPublicKeyServer(
+            group, horizon=receivers, rng=seeded_rng("e2-rivest")
+        )
+        rows.append((
+            receivers,
+            tre_msgs,
+            tre_bytes,
+            mont_msgs,
+            mont_bytes,
+            rivest.published_directory_bytes(),
+        ))
+    emit(format_table(
+        ("receivers", "TRE msgs", "TRE bytes", "Mont msgs", "Mont bytes",
+         "Rivest dir bytes (horizon=n)"),
+        rows,
+        title="E2: per-epoch server cost vs population — claim: TRE O(1), "
+              "Mont O(n), Rivest directory O(horizon)",
+    ))
+
+    # Assert the scalability shape.
+    tre_costs = {n: _tre_epoch_cost(group, b"T")[0] for n in RECEIVER_COUNTS}
+    assert all(cost == 1 for cost in tre_costs.values())
+    assert _mont_epoch_cost(group, 100, b"T")[0] == 100
+    small = RivestPublicKeyServer(group, 10, seeded_rng("x"))
+    large = RivestPublicKeyServer(group, 1000, seeded_rng("x"))
+    assert large.published_directory_bytes() == 100 * small.published_directory_bytes()
+    benchmark(lambda: None)

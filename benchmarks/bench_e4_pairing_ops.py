@@ -1,0 +1,109 @@
+"""E4 — primitive operation costs across parameter sizes.
+
+The paper's §4/§5 cost accounting is in units of pairings, scalar
+multiplications and MapToPoint evaluations.  This experiment grounds
+those units: wall time for each primitive on toy64 / ss512 / ss1024,
+plus serialized element sizes.  (Figure-style series: cost vs p-bits.)
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis import format_table
+from repro.crypto.rng import seeded_rng
+from repro.pairing.api import PairingGroup
+
+PARAM_NAMES = ("toy64", "ss512", "ss1024")
+
+_GROUPS = {}
+
+
+def _group(name):
+    if name not in _GROUPS:
+        _GROUPS[name] = PairingGroup(name, family="A")
+    return _GROUPS[name]
+
+
+@pytest.mark.parametrize("name", PARAM_NAMES)
+def test_e4_pairing(benchmark, name):
+    group = _group(name)
+    rng = seeded_rng("e4")
+    p_point = group.random_point(rng)
+    q_point = group.random_point(rng)
+    benchmark.pedantic(
+        group.pair, args=(p_point, q_point), rounds=5, iterations=1
+    )
+
+
+@pytest.mark.parametrize("name", PARAM_NAMES)
+def test_e4_scalar_mult(benchmark, name):
+    group = _group(name)
+    rng = seeded_rng("e4")
+    point = group.random_point(rng)
+    scalar = group.random_scalar(rng)
+    benchmark.pedantic(group.mul, args=(point, scalar), rounds=5, iterations=1)
+
+
+@pytest.mark.parametrize("name", PARAM_NAMES)
+def test_e4_hash_to_g1(benchmark, name):
+    group = _group(name)
+    counter = iter(range(10**9))
+    benchmark.pedantic(
+        lambda: group.hash_to_g1(str(next(counter)).encode()),
+        rounds=5,
+        iterations=1,
+    )
+
+
+@pytest.mark.parametrize("name", PARAM_NAMES)
+def test_e4_gt_exponentiation(benchmark, name):
+    group = _group(name)
+    rng = seeded_rng("e4")
+    element = group.pair(group.generator, group.generator)
+    scalar = group.random_scalar(rng)
+    benchmark.pedantic(lambda: element ** scalar, rounds=5, iterations=1)
+
+
+def test_e4_claim_table(benchmark):
+    rows = []
+    for name in PARAM_NAMES:
+        group = _group(name)
+        rng = seeded_rng("e4-table")
+        point = group.random_point(rng)
+        other = group.random_point(rng)
+        scalar = group.random_scalar(rng)
+
+        def timed(fn, repeat=3):
+            best = float("inf")
+            for _ in range(repeat):
+                start = time.perf_counter()
+                fn()
+                best = min(best, time.perf_counter() - start)
+            return best * 1000
+
+        pair_ms = timed(lambda: group.pair(point, other))
+        mul_ms = timed(lambda: group.mul(point, scalar))
+        hash_ms = timed(lambda: group.hash_to_g1(b"label"))
+        gt = group.pair(point, other)
+        exp_ms = timed(lambda: gt ** scalar)
+        rows.append((
+            name,
+            group.params.p_bits,
+            group.params.q_bits,
+            f"{pair_ms:.1f}",
+            f"{mul_ms:.1f}",
+            f"{hash_ms:.1f}",
+            f"{exp_ms:.1f}",
+            group.point_bytes,
+            group.gt_bytes,
+        ))
+    emit(format_table(
+        ("params", "p bits", "q bits", "pair ms", "smul ms", "H1 ms",
+         "GT-exp ms", "G1 bytes", "GT bytes"),
+        rows,
+        title="E4: primitive costs by parameter size (pure-Python Tate "
+              "pairing, family A)",
+    ))
+    benchmark(lambda: None)

@@ -1,0 +1,85 @@
+"""E7 — conditional oblivious transfer: the interactive baseline's cost.
+
+Paper claims (§2.2): Di Crescenzo et al.'s protocol "has a logarithmic
+complexity in the time parameter", needs a round trip between *each
+receiver* and the server *per message*, and is "subject to denial of
+service attacks" the server cannot filter (footnote 5).
+
+Rows: bytes moved and server group-operations per session versus the
+time-parameter bit width, plus the per-receiver server work TRE avoids
+entirely (its per-epoch work is one broadcast, zero per receiver).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis import format_table
+from repro.baselines.cot import COTTimeServer, run_cot_session, seal_message
+from repro.crypto.rng import seeded_rng
+
+TIME_BITS = (8, 16, 32, 64)
+
+
+@pytest.mark.parametrize("bits", [16, 32])
+def test_e7_cot_session(benchmark, toy_group, bits):
+    rng = seeded_rng(f"e7-{bits}")
+    server = COTTimeServer(toy_group, time_bits=bits, rng=rng)
+    sealed = seal_message(toy_group, server.transfer_public, b"m", 5, rng)
+    result = benchmark.pedantic(
+        run_cot_session,
+        args=(toy_group, server, sealed, 10, rng),
+        rounds=3,
+        iterations=1,
+    )
+    assert result[0] == b"m"
+
+
+def test_e7_claim_table(benchmark, toy_group):
+    group = toy_group
+    rows = []
+    moved_by_bits = {}
+    for bits in TIME_BITS:
+        rng = seeded_rng(f"e7-table-{bits}")
+        server = COTTimeServer(group, time_bits=bits, rng=rng)
+        sealed = seal_message(group, server.transfer_public, b"m", 5, rng)
+        with group.counters.measure() as ops:
+            plaintext, moved = run_cot_session(group, server, sealed, 10, rng)
+        assert plaintext == b"m"
+        moved_by_bits[bits] = moved
+        rows.append((
+            bits,
+            f"2^{bits}",
+            moved,
+            server.homomorphic_ops,
+            ops.get("scalar_mult", 0),
+        ))
+    rows.append(("TRE", "any", "0 (no interaction)", 0, 0))
+    emit(format_table(
+        ("time bits", "time range", "bytes/session", "server homo-ops",
+         "group ops"),
+        rows,
+        title="E7: COT per-receiver session cost vs time parameter — "
+              "claim: O(log t) work, per-receiver interaction "
+              "(TRE: none)",
+    ))
+
+    # Logarithmic in the range == linear in bits (within framing slack).
+    assert moved_by_bits[64] < 2.3 * moved_by_bits[32]
+    assert moved_by_bits[64] > 3 * moved_by_bits[8]
+    benchmark(lambda: None)
+
+
+def test_e7_dos_far_future_query(benchmark, toy_group):
+    """Footnote 5: a far-future query costs the server full work and is
+    indistinguishable from a legitimate one."""
+    rng = seeded_rng("e7-dos")
+    server = COTTimeServer(toy_group, time_bits=16, rng=rng)
+    sealed = seal_message(
+        toy_group, server.transfer_public, b"m", 2**16 - 1, rng
+    )
+
+    def hopeless_session():
+        plaintext, _ = run_cot_session(toy_group, server, sealed, 0, rng)
+        assert plaintext is None
+
+    benchmark.pedantic(hopeless_session, rounds=3, iterations=1)

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Multi-server TRE (§5.3.5): no single server can unlock early.
+
+A journalist schedules a document for release.  Worried that any one
+time server might be coerced into signing a future timestamp early, she
+splits trust across three independent servers: decryption needs all
+three updates, so early release requires corrupting all of them.
+
+Run:  python examples/multi_server.py [servers]
+"""
+
+import sys
+
+from repro import PairingGroup
+from repro.core import PassiveTimeServer
+from repro.core.multiserver import (
+    MultiServerTimedReleaseScheme,
+    MultiServerUserKeyPair,
+)
+from repro.crypto.rng import seeded_rng
+from repro.errors import UpdateVerificationError
+
+
+def main() -> None:
+    n_servers = int(sys.argv[1]) if len(sys.argv) > 1 else 3
+    group = PairingGroup("toy64")
+    rng = seeded_rng("multi-server")
+
+    servers = [PassiveTimeServer(group, rng=rng) for _ in range(n_servers)]
+    scheme = MultiServerTimedReleaseScheme(
+        group, [s.public_key for s in servers]
+    )
+    editor = MultiServerUserKeyPair.generate(
+        group, [s.public_key for s in servers], rng
+    )
+    print(f"{n_servers} independent time servers; editor key has "
+          f"{len(editor.components)} components")
+
+    release = b"2030-06-01T09:00Z"
+    document = b"EMBARGOED: investigation findings"
+    ciphertext = scheme.encrypt(document, editor.public, release, rng)
+    print(f"ciphertext carries {len(ciphertext.u_points)} header points "
+          f"({ciphertext.size_bytes(group)} bytes total)")
+
+    # A single corrupted server signs early — not enough.
+    corrupt_update = servers[0].issue_update(release)
+    honest_other = servers[1].issue_update(b"some-other-time")
+    partial = [corrupt_update] + [
+        s.issue_update(b"not-the-release-time") for s in servers[1:]
+    ]
+    try:
+        scheme.decrypt(ciphertext, editor.private, partial)
+    except UpdateVerificationError as exc:
+        print(f"one colluding server is useless: {exc}")
+
+    # At the release time every server broadcasts, and the document opens.
+    updates = [s.publish_update(release) for s in servers]
+    plaintext = scheme.decrypt(ciphertext, editor.private, updates)
+    print(f"all {n_servers} updates collected -> opened: {plaintext.decode()}")
+    assert plaintext == document
+    del honest_other
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Policy-lock encryption (§5.3.2): conditions instead of clock times.
+
+A company encrypts its disaster-recovery master credentials so the
+on-call engineer can open them only once the *witness server* has
+attested both "incident-declared" AND "cto-approved" — and a separate
+document that opens under ANY of several conditions.
+
+Run:  python examples/policy_lock.py
+"""
+
+from repro import PairingGroup
+from repro.core import PassiveTimeServer
+from repro.core.keys import UserKeyPair
+from repro.core.policylock import PolicyLockScheme
+from repro.crypto.rng import seeded_rng
+from repro.errors import PolicyError
+
+
+def main() -> None:
+    group = PairingGroup("toy64")
+    rng = seeded_rng("policy-lock")
+    # The "time server" is now a witness signing arbitrary statements.
+    witness = PassiveTimeServer(group, rng=rng)
+    engineer = UserKeyPair.generate(group, witness.public_key, rng)
+    scheme = PolicyLockScheme(group)
+
+    # --- Conjunction: ALL conditions required --------------------------
+    conditions = [b"incident-declared", b"cto-approved"]
+    secret = b"root credentials: hunter2"
+    locked = scheme.encrypt_all(
+        secret, engineer.public, witness.public_key, conditions, rng
+    )
+    print(f"locked credentials under ALL of {[c.decode() for c in conditions]}")
+
+    first = witness.publish_update(b"incident-declared")
+    try:
+        scheme.decrypt_all(locked, engineer, [first], witness.public_key)
+    except PolicyError as exc:
+        print(f"one attestation is not enough: {exc}")
+
+    second = witness.publish_update(b"cto-approved")
+    opened = scheme.decrypt_all(
+        locked, engineer, [first, second], witness.public_key
+    )
+    print(f"both attested -> opened: {opened.decode()}")
+    assert opened == secret
+
+    # --- Disjunction: ANY condition suffices ---------------------------
+    any_conditions = [b"fire-drill", b"real-emergency", b"audit-request"]
+    runbook = b"evacuation & recovery runbook v7"
+    locked_any = scheme.encrypt_any(
+        runbook, engineer.public, witness.public_key, any_conditions, rng
+    )
+    print(f"\nlocked runbook under ANY of {[c.decode() for c in any_conditions]}")
+    attestation = witness.publish_update(b"audit-request")
+    opened_any = scheme.decrypt_any(
+        locked_any, engineer, attestation, witness.public_key
+    )
+    print(f"single attestation 'audit-request' -> opened: {opened_any.decode()}")
+    assert opened_any == runbook
+
+    print(
+        "\nwitness stayed passive throughout: "
+        f"{witness.updates_published} broadcast attestations, no user contact"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Worldwide programming contest (the paper's second application, §1).
+
+Problem sets are large and links are jittery, so they are shipped —
+TRE-encrypted — long before the start.  At the start instant, the
+passive time server broadcasts one tiny key update and every team opens
+the problems within milliseconds of each other.  The naive alternative
+(withhold the plaintext until the start, then transmit) spreads opening
+times over minutes.
+
+Run:  python examples/programming_contest.py [teams]
+"""
+
+import sys
+
+from repro.analysis import format_table
+from repro.sim.scenarios import run_programming_contest
+
+
+def main() -> None:
+    teams = int(sys.argv[1]) if len(sys.argv) > 1 else 20
+    result = run_programming_contest(teams=teams, seed=77)
+
+    start = result.contest_start
+    rows = [
+        (
+            "TRE (ship early, broadcast update)",
+            f"{min(result.tre_open_times) - start:+.3f}",
+            f"{max(result.tre_open_times) - start:+.3f}",
+            f"{result.tre_spread:.3f}",
+        ),
+        (
+            "naive (send plaintext at start)",
+            f"{min(result.naive_open_times) - start:+.3f}",
+            f"{max(result.naive_open_times) - start:+.3f}",
+            f"{result.naive_spread:.3f}",
+        ),
+    ]
+    print(
+        format_table(
+            ("strategy", "first open (s)", "last open (s)", "spread (s)"),
+            rows,
+            title=f"Opening times relative to contest start (n={teams} teams)",
+        )
+    )
+    print()
+    print(
+        f"ciphertexts all arrived before the start: "
+        f"{max(result.ciphertext_arrivals):.1f}s <= {start:.1f}s"
+    )
+    print(
+        f"server work: {result.server_broadcasts} broadcast, "
+        f"{result.server_bytes} bytes — independent of team count"
+    )
+    improvement = result.naive_spread / max(result.tre_spread, 1e-9)
+    print(f"fairness improvement (spread ratio): {improvement:.0f}x")
+    assert result.tre_spread < result.naive_spread
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Timed press release with ID-TRE (§5.2) — and why TRE differs.
+
+A newsroom distributes an embargoed story to subscribing outlets.
+ID-TRE fits: outlets need no certificates (their identity string is
+their key), and one broadcast lifts the embargo for everyone.  The
+demo also surfaces the §5.2 caveat the paper is explicit about: the
+server could read the story too (inherent escrow), which is exactly
+what the non-identity-based TRE avoids.
+
+Run:  python examples/timed_press_release.py
+"""
+
+from repro import PairingGroup
+from repro.core import PassiveTimeServer
+from repro.core.idtre import IdentityTimedReleaseScheme
+from repro.core.keys import ServerKeyPair
+from repro.crypto.rng import seeded_rng
+
+
+def main() -> None:
+    group = PairingGroup("toy64")
+    rng = seeded_rng("press-release")
+
+    master = ServerKeyPair.generate(group, rng)
+    server = PassiveTimeServer(group, keypair=master)
+    scheme = IdentityTimedReleaseScheme(group)
+    embargo = b"2030-09-01T06:00Z"
+    story = b"MERGER CONFIRMED: details follow..."
+
+    outlets = [b"wire@apnews", b"desk@reuters", b"news@afp"]
+    print(f"embargo lifts at {embargo.decode()}")
+
+    # No key exchange with outlets needed before sending: their identity
+    # string IS their public key.
+    ciphertexts = {
+        outlet: scheme.encrypt(story, outlet, master.public, embargo, rng)
+        for outlet in outlets
+    }
+    print(f"story encrypted to {len(outlets)} outlets by identity alone "
+          "(no certificates)")
+
+    # Outlets enrolled with the PKG at some point and hold s*H1(ID).
+    outlet_keys = {
+        outlet: scheme.extract_user_key(master, outlet) for outlet in outlets
+    }
+
+    # Embargo lifts: ONE broadcast for all outlets.
+    update = server.publish_update(embargo)
+    print("single time-bound key update broadcast")
+    for outlet in outlets:
+        text = scheme.decrypt(
+            ciphertexts[outlet], outlet_keys[outlet], update, master.public
+        )
+        assert text == story
+        print(f"  {outlet.decode():15s} decrypted the story")
+
+    # The §5.2 caveat, demonstrated rather than asserted:
+    leaked = scheme.server_decrypt(ciphertexts[outlets[0]], master, outlets[0])
+    assert leaked == story
+    print("\ncaveat (paper §5.2): the server itself can also read it — "
+          "inherent key escrow.")
+    print("use the non-identity-based TRE (examples/quickstart.py) when "
+          "the server must not.")
+
+
+if __name__ == "__main__":
+    main()

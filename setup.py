@@ -1,0 +1,14 @@
+"""Legacy setup shim.
+
+`pip install -e .` needs the `wheel` package to build a PEP-660 editable
+wheel; on fully offline machines without `wheel`, run
+
+    python setup.py develop
+
+which installs the same editable layout through setuptools directly.
+Configuration lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,5 @@
+"""Presentation helpers for benchmark and example output."""
+
+from repro.analysis.table import format_table
+
+__all__ = ["format_table"]

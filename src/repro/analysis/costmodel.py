@@ -1,0 +1,141 @@
+"""A symbolic cost model for every scheme in the library.
+
+The paper argues efficiency in units of group operations; this module
+writes those budgets down *as data* so they can be (a) printed in docs
+and benchmarks and (b) asserted against the live operation counters —
+any refactor that silently changes a scheme's op count fails
+``tests/analysis/test_costmodel.py``.
+
+Counts exclude the optional receiver-key well-formedness check
+(2 pairings, amortizable across messages) and update
+self-authentication (2 pairings, once per broadcast, not per message);
+both are listed separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class OpBudget:
+    """Operation counts for one protocol step."""
+
+    pairings: int = 0
+    scalar_mults: int = 0
+    hash_to_group: int = 0
+    gt_exps: int = 0
+    point_adds: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        mapping = {
+            "pairing": self.pairings,
+            "scalar_mult": self.scalar_mults,
+            "hash_to_group": self.hash_to_group,
+            "gt_exp": self.gt_exps,
+            "point_add": self.point_adds,
+        }
+        return {name: count for name, count in mapping.items() if count}
+
+    def dominant_cost(self, pairing_weight: float = 10.0) -> float:
+        """A single comparable number: scalar-mult-equivalents."""
+        return (
+            self.pairings * pairing_weight
+            + self.scalar_mults
+            + self.hash_to_group
+            + self.gt_exps
+            + 0.01 * self.point_adds
+        )
+
+
+@dataclass(frozen=True)
+class SchemeCost:
+    name: str
+    encrypt: OpBudget
+    decrypt: OpBudget
+    notes: str = ""
+    extras: dict = field(default_factory=dict)
+
+
+# The §5.1 scheme: Encrypt = H1(T), r·G, r·asG, one pairing;
+# Decrypt = one pairing then ^a.
+TRE_COST = SchemeCost(
+    name="TRE",
+    encrypt=OpBudget(pairings=1, scalar_mults=2, hash_to_group=1),
+    decrypt=OpBudget(pairings=1, gt_exps=1),
+    notes="receiver-key check: +2 pairings (amortizable)",
+)
+
+# §5.2: Encrypt hashes ID and T, adds them, pairs once, exponentiates.
+IDTRE_COST = SchemeCost(
+    name="ID-TRE",
+    encrypt=OpBudget(
+        pairings=1, scalar_mults=1, hash_to_group=2, gt_exps=1, point_adds=1
+    ),
+    decrypt=OpBudget(pairings=1, point_adds=1),
+    notes="escrow inherent; no receiver certificate",
+)
+
+# Footnote 3: ElGamal KEM (2 smul) + BF-IBE (1 pairing + 2 smul +
+# 1 H1 + 1 GT exp).
+HYBRID_COST = SchemeCost(
+    name="hybrid PKE+IBE",
+    encrypt=OpBudget(pairings=1, scalar_mults=3, hash_to_group=1, gt_exps=1),
+    decrypt=OpBudget(pairings=1, scalar_mults=1),
+    notes="2 group elements per ciphertext (TRE: 1)",
+)
+
+
+def multiserver_cost(servers: int) -> SchemeCost:
+    """§5.3.5: one r·G_i per server; one pairing per server to decrypt."""
+    return SchemeCost(
+        name=f"multi-server (N={servers})",
+        encrypt=OpBudget(
+            pairings=1,
+            scalar_mults=servers + 1,
+            hash_to_group=1,
+            point_adds=servers - 1,
+        ),
+        decrypt=OpBudget(pairings=servers, gt_exps=1),
+    )
+
+
+def resilient_cost(depth: int) -> SchemeCost:
+    """§6 construction at tree depth d (decrypting from a leaf key)."""
+    return SchemeCost(
+        name=f"resilient (d={depth})",
+        encrypt=OpBudget(
+            # U_0 = r·G plus U_i = r·P_i for levels 2..d.
+            pairings=1, scalar_mults=depth, hash_to_group=depth, gt_exps=1
+        ),
+        decrypt=OpBudget(pairings=depth, gt_exps=1),
+        notes="decrypt pairings = 1 + (d-1) translation ratios",
+    )
+
+
+ALL_FIXED_COSTS = (TRE_COST, IDTRE_COST, HYBRID_COST)
+
+UPDATE_VERIFY_COST = OpBudget(pairings=2, hash_to_group=1)
+RECEIVER_KEY_CHECK_COST = OpBudget(pairings=2)
+
+
+def cost_table() -> str:
+    """Render the fixed budgets as an aligned table (for docs/benches)."""
+    from repro.analysis.table import format_table
+
+    rows = []
+    for cost in ALL_FIXED_COSTS + (multiserver_cost(3), resilient_cost(8)):
+        rows.append((
+            cost.name,
+            f"{cost.encrypt.pairings}P {cost.encrypt.scalar_mults}M "
+            f"{cost.encrypt.hash_to_group}H {cost.encrypt.gt_exps}E",
+            f"{cost.decrypt.pairings}P {cost.decrypt.scalar_mults}M "
+            f"{cost.decrypt.hash_to_group}H {cost.decrypt.gt_exps}E",
+            f"{cost.encrypt.dominant_cost():.0f}",
+            f"{cost.decrypt.dominant_cost():.0f}",
+        ))
+    return format_table(
+        ("scheme", "encrypt", "decrypt", "enc cost*", "dec cost*"),
+        rows,
+        title="Symbolic op budgets (*scalar-mult equivalents, pairing=10)",
+    )

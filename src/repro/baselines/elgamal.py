@@ -1,0 +1,157 @@
+"""ElGamal encryption over the pairing group's G1.
+
+Two flavours, both used by other baselines:
+
+* :class:`HashedElGamal` — the standard KEM-style PKE
+  (``⟨rG, M ⊕ KDF(r·xG)⟩``).  This is the "any public key encryption
+  scheme" slot of the paper's footnote-3 hybrid construction.
+* :class:`ExponentialElGamal` — additively homomorphic
+  (``⟨rG, mG + r·xG⟩``), used by the conditional-oblivious-transfer
+  baseline for its encrypted bitwise comparison.
+
+Neither uses the pairing; they only need the group law, so they also
+serve as a control in the op-count benchmarks (how much of TRE's cost
+is pairing-specific).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.crypto.kdf import derive_key
+from repro.ec.point import CurvePoint
+from repro.encoding import xor_bytes
+from repro.pairing.api import PairingGroup
+
+_KDF_LABEL = "repro:elgamal"
+
+
+@dataclass(frozen=True)
+class ElGamalKeyPair:
+    private: int
+    public: CurvePoint
+
+
+@dataclass(frozen=True)
+class HashedElGamalCiphertext:
+    r_point: CurvePoint
+    masked: bytes
+
+
+class HashedElGamal:
+    """IND-CPA hashed ElGamal: ``⟨rG, M ⊕ KDF(r·pk)⟩``."""
+
+    def __init__(self, group: PairingGroup, generator: CurvePoint | None = None):
+        self.group = group
+        self.generator = generator if generator is not None else group.generator
+
+    def generate_keypair(self, rng: random.Random) -> ElGamalKeyPair:
+        x = self.group.random_scalar(rng)
+        return ElGamalKeyPair(x, self.group.mul(self.generator, x))
+
+    def encrypt(
+        self, message: bytes, public: CurvePoint, rng: random.Random
+    ) -> HashedElGamalCiphertext:
+        r = self.group.random_scalar(rng)
+        shared = self.group.mul(public, r)
+        mask = derive_key(
+            self.group.point_to_bytes(shared), len(message), _KDF_LABEL
+        )
+        return HashedElGamalCiphertext(
+            self.group.mul(self.generator, r), xor_bytes(message, mask)
+        )
+
+    def decrypt(self, ciphertext: HashedElGamalCiphertext, private: int) -> bytes:
+        shared = self.group.mul(ciphertext.r_point, private)
+        mask = derive_key(
+            self.group.point_to_bytes(shared), len(ciphertext.masked), _KDF_LABEL
+        )
+        return xor_bytes(ciphertext.masked, mask)
+
+
+@dataclass(frozen=True)
+class ExpElGamalCiphertext:
+    """``(rG, mG + r·pk)`` — additively homomorphic in ``m``."""
+
+    c1: CurvePoint
+    c2: CurvePoint
+
+
+class ExponentialElGamal:
+    """Additively homomorphic ElGamal (message in the exponent).
+
+    Decryption returns the *point* ``mG``; recovering ``m`` itself needs
+    a discrete log, so callers either test against known candidate
+    points (the COT baseline checks for ``m == 0``) or keep everything
+    in point form.
+    """
+
+    def __init__(self, group: PairingGroup, generator: CurvePoint | None = None):
+        self.group = group
+        self.generator = generator if generator is not None else group.generator
+
+    def generate_keypair(self, rng: random.Random) -> ElGamalKeyPair:
+        x = self.group.random_scalar(rng)
+        return ElGamalKeyPair(x, self.group.mul(self.generator, x))
+
+    def encrypt(
+        self, message: int, public: CurvePoint, rng: random.Random
+    ) -> ExpElGamalCiphertext:
+        r = self.group.random_scalar(rng)
+        c1 = self.group.mul(self.generator, r)
+        c2 = self.group.add(
+            self.group.mul(self.generator, message), self.group.mul(public, r)
+        )
+        return ExpElGamalCiphertext(c1, c2)
+
+    def decrypt_point(
+        self, ciphertext: ExpElGamalCiphertext, private: int
+    ) -> CurvePoint:
+        """Return ``mG`` (the exponent itself stays hidden in the dlog)."""
+        return ciphertext.c2 - self.group.mul(ciphertext.c1, private)
+
+    def is_zero(self, ciphertext: ExpElGamalCiphertext, private: int) -> bool:
+        return self.decrypt_point(ciphertext, private).is_infinity
+
+    # ------------------------------------------------------------------
+    # Homomorphic operations (no secret key involved).
+    # ------------------------------------------------------------------
+
+    def add(
+        self, left: ExpElGamalCiphertext, right: ExpElGamalCiphertext
+    ) -> ExpElGamalCiphertext:
+        return ExpElGamalCiphertext(
+            self.group.add(left.c1, right.c1), self.group.add(left.c2, right.c2)
+        )
+
+    def add_plain(
+        self, ciphertext: ExpElGamalCiphertext, constant: int
+    ) -> ExpElGamalCiphertext:
+        return ExpElGamalCiphertext(
+            ciphertext.c1,
+            self.group.add(
+                ciphertext.c2, self.group.mul(self.generator, constant % self.group.q)
+            ),
+        )
+
+    def scale(
+        self, ciphertext: ExpElGamalCiphertext, factor: int
+    ) -> ExpElGamalCiphertext:
+        factor %= self.group.q
+        return ExpElGamalCiphertext(
+            self.group.mul(ciphertext.c1, factor),
+            self.group.mul(ciphertext.c2, factor),
+        )
+
+    def rerandomize(
+        self,
+        ciphertext: ExpElGamalCiphertext,
+        public: CurvePoint,
+        rng: random.Random,
+    ) -> ExpElGamalCiphertext:
+        r = self.group.random_scalar(rng)
+        return ExpElGamalCiphertext(
+            self.group.add(ciphertext.c1, self.group.mul(self.generator, r)),
+            self.group.add(ciphertext.c2, self.group.mul(public, r)),
+        )

@@ -1,0 +1,70 @@
+"""May's trusted escrow agent (paper §2.2, [15]).
+
+The simplest server-based design and the least private: senders hand the
+*plaintext* message, its release time, and the receiver's identity to a
+trusted agent, who stores everything and forwards at release time.
+
+The paper's criticisms, made measurable here:
+
+* storage grows with every pending message (``stored_bytes``);
+* the agent learns message contents, release times, and both
+  identities (``knowledge`` — the anonymity ledger the E2/privacy tests
+  inspect);
+* per-receiver delivery work at release time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class EscrowRecord:
+    sender: bytes
+    receiver: bytes
+    message: bytes
+    release_epoch: int
+
+
+@dataclass
+class EscrowKnowledge:
+    """Everything the agent has learned — the anti-anonymity ledger."""
+
+    senders: set[bytes] = field(default_factory=set)
+    receivers: set[bytes] = field(default_factory=set)
+    messages_seen: int = 0
+    release_times_seen: set[int] = field(default_factory=set)
+
+
+class EscrowAgent:
+    """Store-and-forward timed release with zero cryptography."""
+
+    def __init__(self):
+        self._pending: list[EscrowRecord] = []
+        self.knowledge = EscrowKnowledge()
+        self.stored_bytes = 0
+        self.deliveries = 0
+
+    def deposit(
+        self, sender: bytes, receiver: bytes, message: bytes, release_epoch: int
+    ) -> None:
+        """The sender interaction — the agent sees everything."""
+        record = EscrowRecord(sender, receiver, message, release_epoch)
+        self._pending.append(record)
+        self.stored_bytes += len(message)
+        self.knowledge.senders.add(sender)
+        self.knowledge.receivers.add(receiver)
+        self.knowledge.messages_seen += 1
+        self.knowledge.release_times_seen.add(release_epoch)
+
+    def tick(self, now_epoch: int) -> list[EscrowRecord]:
+        """Deliver (and forget) every message whose time has come."""
+        due = [r for r in self._pending if r.release_epoch <= now_epoch]
+        self._pending = [r for r in self._pending if r.release_epoch > now_epoch]
+        for record in due:
+            self.stored_bytes -= len(record.message)
+            self.deliveries += 1
+        return due
+
+    def pending_count(self) -> int:
+        return len(self._pending)

@@ -1,0 +1,116 @@
+"""The footnote-3 hybrid PKE+IBE timed-release construction.
+
+The paper concedes one *could* get server-passive timed release without
+a new scheme: "use a public key encryption scheme to encrypt a sub-key
+K1 and use an identity based encryption scheme to encrypt another
+sub-key K2.  These two sub-keys are then combined to feed into a
+symmetric key encryption scheme" — with the IBE identity being the
+release-time string, so the IBE "extracted key" for ``T`` is precisely
+the server's time-bound update.  But it claims the dedicated TRE scheme
+wins: "the resulting constructions are considerably less efficient ...
+in terms of computation and/or ciphertext size.  Our schemes could have
+50% reduction in most cases."
+
+This module implements that hybrid comparator faithfully so experiment
+E1 can measure the claim:
+
+    c_pke = ElGamal(K1, receiver_pk)         — 1 point + |K1| bytes
+    c_ibe = BasicIdent(K2, identity=T)       — 1 point + |K2| bytes
+    c_dem = M ⊕ KDF(K1 ‖ K2)
+
+Two group-element headers per message versus TRE's one — the 50%
+ciphertext-overhead reduction — and an extra scalar multiplication on
+each side.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.baselines.bf_ibe import BonehFranklinIBE, IBECiphertext
+from repro.baselines.elgamal import (
+    ElGamalKeyPair,
+    HashedElGamal,
+    HashedElGamalCiphertext,
+)
+from repro.core.keys import ServerPublicKey
+from repro.core.timeserver import TimeBoundKeyUpdate
+from repro.crypto.kdf import derive_key
+from repro.encoding import pack_chunks, xor_bytes
+from repro.pairing.api import PairingGroup
+
+_SUBKEY_BYTES = 32
+_DEM_LABEL = "repro:hybrid-dem"
+
+
+@dataclass(frozen=True)
+class HybridCiphertext:
+    """``⟨c_pke, c_ibe, c_dem⟩`` plus the public release-time label."""
+
+    c_pke: HashedElGamalCiphertext
+    c_ibe: IBECiphertext
+    c_dem: bytes
+    time_label: bytes
+
+    def size_bytes(self, group: PairingGroup) -> int:
+        return len(
+            pack_chunks(
+                group.point_to_bytes(self.c_pke.r_point),
+                self.c_pke.masked,
+                group.point_to_bytes(self.c_ibe.u_point),
+                self.c_ibe.masked,
+                self.c_dem,
+                self.time_label,
+            )
+        )
+
+
+class HybridPkeIbeTimedRelease:
+    """The generic two-sub-key construction the paper compares against.
+
+    The time server plays the IBE PKG whose "identities" are time
+    strings; publishing the update for ``T`` is publishing the IBE
+    private key ``s·H1(T)``, so the server is exactly as passive as in
+    TRE — the difference is pure efficiency, which is the point.
+    """
+
+    def __init__(self, group: PairingGroup):
+        self.group = group
+        self.pke = HashedElGamal(group)
+        self.ibe = BonehFranklinIBE(group)
+
+    def generate_receiver_keypair(self, rng: random.Random) -> ElGamalKeyPair:
+        return self.pke.generate_keypair(rng)
+
+    def encrypt(
+        self,
+        message: bytes,
+        receiver_public,
+        server_public: ServerPublicKey,
+        time_label: bytes,
+        rng: random.Random,
+    ) -> HybridCiphertext:
+        k1 = rng.randbytes(_SUBKEY_BYTES)
+        k2 = rng.randbytes(_SUBKEY_BYTES)
+        c_pke = self.pke.encrypt(k1, receiver_public, rng)
+        c_ibe = self.ibe.encrypt(k2, time_label, server_public, rng)
+        dem_key = derive_key(k1 + k2, len(message), _DEM_LABEL)
+        return HybridCiphertext(
+            c_pke, c_ibe, xor_bytes(message, dem_key), time_label
+        )
+
+    def decrypt(
+        self,
+        ciphertext: HybridCiphertext,
+        receiver_private: int,
+        update: TimeBoundKeyUpdate,
+    ) -> bytes:
+        """Needs the receiver's PKE key *and* the update-as-IBE-key."""
+        from repro.baselines.bf_ibe import IBEPrivateKey
+
+        k1 = self.pke.decrypt(ciphertext.c_pke, receiver_private)
+        ibe_key = IBEPrivateKey(ciphertext.time_label, update.point)
+        k2 = self.ibe.decrypt(ciphertext.c_ibe, ibe_key)
+        dem_key = derive_key(k1 + k2, len(ciphertext.c_dem), _DEM_LABEL)
+        return xor_bytes(ciphertext.c_dem, dem_key)

@@ -1,0 +1,103 @@
+"""Mont et al.'s HP "time vault" service (paper §2.2, [17]).
+
+The Boneh–Franklin application implemented at HP Labs: a sender encrypts
+under the IBE identity ``ID‖T`` (receiver identity augmented with the
+release time), and the server — which doubles as the IBE PKG — extracts
+``s·H1(ID‖T)`` and *individually transmits* it to each registered
+receiver when epoch ``T`` starts.
+
+The two flaws the paper calls out, both observable on this object:
+
+* **not scalable**: per-epoch server work and bandwidth are
+  ``O(#receivers)`` (``keys_delivered``, ``bytes_delivered`` — versus
+  the passive server's single broadcast, experiment E2);
+* **inherent escrow**: the server can decrypt everything
+  (:meth:`server_decrypt`).
+
+Registration also tells the server exactly who its receivers are, so
+receiver anonymity is gone (``knowledge``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.baselines.bf_ibe import BonehFranklinIBE, IBECiphertext, IBEPrivateKey
+from repro.core.keys import ServerKeyPair, ServerPublicKey
+from repro.pairing.api import PairingGroup
+
+
+def vault_identity(receiver_id: bytes, time_label: bytes) -> bytes:
+    """The augmented identity ``ID‖T`` (length-framed to avoid splicing)."""
+    return (
+        len(receiver_id).to_bytes(4, "big") + receiver_id
+        + len(time_label).to_bytes(4, "big") + time_label
+    )
+
+
+@dataclass
+class VaultKnowledge:
+    registered_receivers: set[bytes] = field(default_factory=set)
+
+
+class MontTimeVault:
+    """The per-user-key-delivery timed-release service."""
+
+    def __init__(self, group: PairingGroup, rng: random.Random):
+        self.group = group
+        self._ibe = BonehFranklinIBE(group)
+        self._master: ServerKeyPair = self._ibe.setup(rng)
+        self.knowledge = VaultKnowledge()
+        self.keys_delivered = 0
+        self.bytes_delivered = 0
+
+    @property
+    def public_key(self) -> ServerPublicKey:
+        return self._master.public
+
+    # ------------------------------------------------------------------
+    # Server side.
+    # ------------------------------------------------------------------
+
+    def register_receiver(self, receiver_id: bytes) -> None:
+        """Receivers must enrol so the server knows where to push keys —
+        the step that forfeits receiver anonymity."""
+        self.knowledge.registered_receivers.add(receiver_id)
+
+    def start_epoch(self, time_label: bytes) -> dict[bytes, IBEPrivateKey]:
+        """Extract and deliver one key per registered receiver: O(n)."""
+        deliveries: dict[bytes, IBEPrivateKey] = {}
+        for receiver_id in sorted(self.knowledge.registered_receivers):
+            key = self._ibe.extract(
+                self._master, vault_identity(receiver_id, time_label)
+            )
+            deliveries[receiver_id] = key
+            self.keys_delivered += 1
+            self.bytes_delivered += self.group.point_bytes
+        return deliveries
+
+    def server_decrypt(
+        self, ciphertext: IBECiphertext, receiver_id: bytes, time_label: bytes
+    ) -> bytes:
+        """Escrow: the PKG can extract any key, hence read any message."""
+        key = self._ibe.extract(self._master, vault_identity(receiver_id, time_label))
+        return self._ibe.decrypt(ciphertext, key)
+
+    # ------------------------------------------------------------------
+    # User side.
+    # ------------------------------------------------------------------
+
+    def encrypt(
+        self,
+        message: bytes,
+        receiver_id: bytes,
+        time_label: bytes,
+        rng: random.Random,
+    ) -> IBECiphertext:
+        return self._ibe.encrypt(
+            message, vault_identity(receiver_id, time_label), self.public_key, rng
+        )
+
+    def decrypt(self, ciphertext: IBECiphertext, key: IBEPrivateKey) -> bytes:
+        return self._ibe.decrypt(ciphertext, key)

@@ -1,0 +1,136 @@
+"""Rivest–Shamir–Wagner's trusted-server designs (paper §2.2, [19]).
+
+Two variants, mirroring the paper's discussion:
+
+* :class:`RivestKeyReleaseServer` — the symmetric variant.  The server
+  derives epoch keys ``k_i = H(seed, i)`` (so it "does not have to
+  remember anything except the seed") and publishes ``k_i`` when epoch
+  ``i`` arrives.  BUT the *sender must interact with the server*: it
+  hands over the plaintext and the server returns the epoch-encrypted
+  ciphertext — leaking the sender's identity, the message, and its
+  release time.  ``knowledge`` records the leak; ``encryptions_served``
+  records the per-message server work that kills scalability.
+
+* :class:`RivestPublicKeyServer` — the non-interactive variant.  The
+  server pre-publishes a *horizon* of epoch public keys; senders pick
+  the key for their release epoch locally, and the server publishes the
+  matching private key when the epoch arrives.  No interaction, but the
+  advance publication is ``O(horizon)`` bytes, and a sender wanting an
+  epoch beyond the horizon is stuck until the server extends the list —
+  the exact non-scalability the paper contrasts with TRE's "any release
+  time ... without relying on any information from the server".
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.baselines.elgamal import ElGamalKeyPair, HashedElGamal
+from repro.crypto.authenc import aead_decrypt, aead_encrypt
+from repro.crypto.kdf import derive_key
+from repro.errors import UpdateNotAvailableError
+from repro.pairing.api import PairingGroup
+
+_EPOCH_KEY_LABEL = "repro:rivest:epoch"
+
+
+@dataclass
+class RivestKnowledge:
+    senders: set[bytes] = field(default_factory=set)
+    messages_seen: int = 0
+    release_times_seen: set[int] = field(default_factory=set)
+
+
+class RivestKeyReleaseServer:
+    """Symmetric variant: interactive encryption, periodic key release."""
+
+    def __init__(self, seed: bytes):
+        self._seed = seed  # The only long-term state (as in the paper).
+        self.knowledge = RivestKnowledge()
+        self.encryptions_served = 0
+        self.keys_published = 0
+
+    def _epoch_key(self, epoch: int) -> bytes:
+        return derive_key(self._seed, 32, f"{_EPOCH_KEY_LABEL}:{epoch}")
+
+    def encrypt_for_sender(
+        self, sender: bytes, message: bytes, release_epoch: int
+    ) -> bytes:
+        """The sender→server interaction (server sees everything)."""
+        self.knowledge.senders.add(sender)
+        self.knowledge.messages_seen += 1
+        self.knowledge.release_times_seen.add(release_epoch)
+        self.encryptions_served += 1
+        return aead_encrypt(
+            self._epoch_key(release_epoch),
+            b"rivest",
+            message,
+            associated_data=str(release_epoch).encode(),
+        )
+
+    def publish_epoch_key(self, epoch: int) -> bytes:
+        """Broadcast ``k_i`` once epoch ``i`` arrives."""
+        self.keys_published += 1
+        return self._epoch_key(epoch)
+
+    @staticmethod
+    def decrypt(ciphertext: bytes, epoch_key: bytes, release_epoch: int) -> bytes:
+        return aead_decrypt(
+            epoch_key,
+            b"rivest",
+            ciphertext,
+            associated_data=str(release_epoch).encode(),
+        )
+
+
+class RivestPublicKeyServer:
+    """Public-key variant: pre-published horizon of epoch key pairs."""
+
+    def __init__(self, group: PairingGroup, horizon: int, rng: random.Random):
+        self.group = group
+        self._pke = HashedElGamal(group)
+        self._keypairs: list[ElGamalKeyPair] = [
+            self._pke.generate_keypair(rng) for _ in range(horizon)
+        ]
+        self.private_keys_published = 0
+
+    @property
+    def horizon(self) -> int:
+        return len(self._keypairs)
+
+    def published_directory_bytes(self) -> int:
+        """Size of the advance publication senders must download."""
+        return self.horizon * self.group.point_bytes
+
+    def public_key_for_epoch(self, epoch: int):
+        """Senders pick locally — raises if the epoch is past the horizon,
+        the failure mode the paper highlights."""
+        if epoch >= self.horizon:
+            raise UpdateNotAvailableError(
+                f"epoch {epoch} beyond published horizon {self.horizon}; "
+                "sender must wait for the server to extend the list"
+            )
+        return self._keypairs[epoch].public
+
+    def extend_horizon(self, additional: int, rng: random.Random) -> int:
+        """Server-side remedy: publish more future keys (more state,
+        more directory bytes — never a sender-side fix)."""
+        self._keypairs.extend(
+            self._pke.generate_keypair(rng) for _ in range(additional)
+        )
+        return self.horizon
+
+    def release_private_key(self, epoch: int) -> int:
+        if epoch >= self.horizon:
+            raise UpdateNotAvailableError(f"epoch {epoch} beyond horizon")
+        self.private_keys_published += 1
+        return self._keypairs[epoch].private
+
+    # Convenience wrappers so benchmarks drive one object.
+
+    def encrypt(self, message: bytes, epoch: int, rng: random.Random):
+        return self._pke.encrypt(message, self.public_key_for_epoch(epoch), rng)
+
+    def decrypt(self, ciphertext, epoch_private: int) -> bytes:
+        return self._pke.decrypt(ciphertext, epoch_private)

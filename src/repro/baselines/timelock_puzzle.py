@@ -1,0 +1,129 @@
+"""Rivest–Shamir–Wagner time-lock puzzles (paper §2.1).
+
+The relative-time baseline: the sender seals a key behind ``t``
+sequential modular squarings.  Knowing the factorization of ``n = pq``
+the sender computes ``2^(2^t) mod n`` in ``O(log t)`` work via
+``φ(n)``; the solver must grind all ``t`` squarings.
+
+The paper's criticisms, which experiment E3 quantifies:
+
+* only *relative* time — the clock starts when the solver starts;
+* release time depends on the solver's CPU speed (×2 hardware → ×½
+  wall time), so precision is inherently coarse;
+* decryption burns CPU proportional to the delay, versus TRE's
+  constant two pairings.
+
+:class:`SimulatedMachine` models solver hardware of different speeds so
+the release-time *spread* across a heterogeneous population can be
+reported without needing actual heterogeneous hardware (substitution
+documented in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+
+from repro.crypto.authenc import aead_decrypt, aead_encrypt
+from repro.errors import ParameterError
+from repro.math.primes import random_prime
+
+
+@dataclass(frozen=True)
+class PuzzleCiphertext:
+    """``n``, base ``a``, squaring count ``t``, masked key, sealed payload."""
+
+    modulus: int
+    base: int
+    squarings: int
+    masked_key: int
+    sealed: bytes
+
+
+@dataclass(frozen=True)
+class PuzzleSolution:
+    plaintext: bytes
+    squarings_performed: int
+
+
+class TimeLockPuzzle:
+    """RSW: seal a message behind ``t`` sequential squarings mod ``n``."""
+
+    def __init__(self, modulus_bits: int = 512):
+        if modulus_bits < 32:
+            raise ParameterError("modulus too small to be meaningful")
+        self.modulus_bits = modulus_bits
+
+    def seal(
+        self, message: bytes, squarings: int, rng: random.Random
+    ) -> PuzzleCiphertext:
+        """Create a puzzle whose solution takes ``squarings`` sequential steps.
+
+        The sender's shortcut: ``e = 2^t mod φ(n)`` then ``b = a^e mod n``
+        — O(log t) multiplications instead of t.
+        """
+        if squarings < 1:
+            raise ParameterError("need at least one squaring")
+        half = self.modulus_bits // 2
+        p = random_prime(half, rng)
+        q = random_prime(self.modulus_bits - half, rng)
+        while q == p:
+            q = random_prime(self.modulus_bits - half, rng)
+        n = p * q
+        phi = (p - 1) * (q - 1)
+        a = rng.randrange(2, n - 1)
+        e = pow(2, squarings, phi)
+        b = pow(a, e, n)
+        key = rng.randbytes(32)
+        masked_key = (int.from_bytes(key, "big") + b) % n
+        sealed = aead_encrypt(key, b"rsw", message)
+        return PuzzleCiphertext(n, a, squarings, masked_key, sealed)
+
+    def solve(self, puzzle: PuzzleCiphertext) -> PuzzleSolution:
+        """Grind the ``t`` squarings — no shortcut without the factors."""
+        b = puzzle.base % puzzle.modulus
+        for _ in range(puzzle.squarings):
+            b = b * b % puzzle.modulus
+        key_int = (puzzle.masked_key - b) % puzzle.modulus
+        key = key_int.to_bytes((puzzle.modulus.bit_length() + 7) // 8, "big")[-32:]
+        plaintext = aead_decrypt(key, b"rsw", puzzle.sealed)
+        return PuzzleSolution(plaintext, puzzle.squarings)
+
+    def measure_squaring_rate(self, sample: int = 2000) -> float:
+        """Calibrate this host's sequential squarings per second."""
+        rng = random.Random(0xCA11B)
+        n = random_prime(self.modulus_bits // 2, rng) * random_prime(
+            self.modulus_bits - self.modulus_bits // 2, rng
+        )
+        b = rng.randrange(2, n - 1)
+        start = time.perf_counter()
+        for _ in range(sample):
+            b = b * b % n
+        elapsed = time.perf_counter() - start
+        return sample / elapsed
+
+
+@dataclass(frozen=True)
+class SimulatedMachine:
+    """A solver with a given squaring rate and start-time lag.
+
+    Models the paper's complaint that the effective release time depends
+    on "the speed of the recipients' machines and when the decryption is
+    started".
+    """
+
+    name: str
+    squarings_per_second: float
+    start_delay_seconds: float = 0.0
+
+    def release_time(self, puzzle: PuzzleCiphertext) -> float:
+        """Seconds after *sending* at which this machine reads the message."""
+        return self.start_delay_seconds + puzzle.squarings / self.squarings_per_second
+
+
+def release_time_spread(
+    puzzle: PuzzleCiphertext, machines: list[SimulatedMachine]
+) -> dict[str, float]:
+    """Per-machine effective release times for one puzzle (E3 helper)."""
+    return {m.name: m.release_time(puzzle) for m in machines}

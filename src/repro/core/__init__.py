@@ -1,0 +1,38 @@
+"""The paper's contributions: TRE, ID-TRE, and every §5.3 extension.
+
+Module map (paper section → module):
+
+* §5.1 TRE                    → :mod:`repro.core.tre`
+* §5.2 ID-TRE                 → :mod:`repro.core.idtre`
+* §3   passive time server    → :mod:`repro.core.timeserver`
+* §5.3.1 self-authenticated updates (BLS short signatures)
+                              → :mod:`repro.core.bls`
+* §5.3.2 policy locks         → :mod:`repro.core.policylock`
+* §5.3.3 key insulation       → :mod:`repro.core.key_insulation`
+* §5.3.4 server change / CA   → :mod:`repro.core.certification`
+* §5.3.5 multiple servers     → :mod:`repro.core.multiserver`
+* §5 CCA upgrades             → :mod:`repro.core.fujisaki_okamoto`,
+                                :mod:`repro.core.react`
+* KEM-DEM wrapping for long messages → :mod:`repro.core.hybrid_tre`
+"""
+
+from repro.core.keys import ServerKeyPair, ServerPublicKey, UserKeyPair, UserPublicKey
+from repro.core.timeserver import PassiveTimeServer, TimeBoundKeyUpdate, epoch_label
+from repro.core.tre import TimedReleaseScheme, TRECiphertext
+from repro.core.idtre import IdentityTimedReleaseScheme, IDTRECiphertext
+from repro.core.bls import BLSSignatureScheme
+
+__all__ = [
+    "ServerKeyPair",
+    "ServerPublicKey",
+    "UserKeyPair",
+    "UserPublicKey",
+    "PassiveTimeServer",
+    "TimeBoundKeyUpdate",
+    "epoch_label",
+    "TimedReleaseScheme",
+    "TRECiphertext",
+    "IdentityTimedReleaseScheme",
+    "IDTRECiphertext",
+    "BLSSignatureScheme",
+]

@@ -1,0 +1,118 @@
+"""Certificate authority substrate and cheap time-server change (§5.3.4).
+
+The CA and the time server are *independent* entities in TRE.  The CA
+certifies only the ``aG`` half of a user key; the ``asG`` half is
+verifiable from it.  When a receiver moves to a new time server ``S'``
+(secret ``s'``), no re-certification is needed — anyone can check the
+claimed new key against the certified old one:
+
+* same generator:   ``ê(G, a·s'G)  == ê(s'G, aG)``
+* new generator G': first link ``ê(aG', G) == ê(G', aG)`` (same ``a``),
+  then ``ê(aG', s'G') == ê(G', a·s'G')``.
+
+Only the holder of ``a`` can produce components passing these checks
+(forging one is a CDH instance), so a certificate on ``aG`` transfers to
+every future server binding.
+
+The CA itself signs with BLS over the same pairing group — one more
+consumer of the substrate, and it keeps the repo dependency-free.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.bls import BLSSignatureScheme
+from repro.core.keys import ServerKeyPair, ServerPublicKey, UserPublicKey
+from repro.ec.point import CurvePoint
+from repro.encoding import pack_chunks
+from repro.errors import KeyValidationError
+from repro.pairing.api import PairingGroup
+
+_CA_TAG = "repro:CA"
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """A CA statement binding ``subject`` to the point ``aG``."""
+
+    subject: bytes
+    a_generator: CurvePoint
+    generator: CurvePoint
+    signature: CurvePoint
+
+    def signed_payload(self, group: PairingGroup) -> bytes:
+        return pack_chunks(
+            self.subject,
+            group.point_to_bytes(self.a_generator),
+            group.point_to_bytes(self.generator),
+        )
+
+
+class CertificateAuthority:
+    """A minimal CA: BLS-signs ``(subject, aG, G)`` bindings."""
+
+    def __init__(self, group: PairingGroup, rng: random.Random):
+        self.group = group
+        self._keypair = ServerKeyPair.generate(group, rng)
+        self._bls = BLSSignatureScheme(group, hash_tag=_CA_TAG)
+
+    @property
+    def public_key(self) -> ServerPublicKey:
+        return self._keypair.public
+
+    def issue(
+        self, subject: bytes, a_generator: CurvePoint, generator: CurvePoint
+    ) -> Certificate:
+        payload = pack_chunks(
+            subject,
+            self.group.point_to_bytes(a_generator),
+            self.group.point_to_bytes(generator),
+        )
+        signature = self._bls.sign(self._keypair, payload)
+        return Certificate(subject, a_generator, generator, signature)
+
+    def verify(self, certificate: Certificate) -> bool:
+        return BLSSignatureScheme(self.group, hash_tag=_CA_TAG).verify(
+            self.public_key,
+            certificate.signed_payload(self.group),
+            certificate.signature,
+        )
+
+
+def verify_rekeyed_public_key(
+    group: PairingGroup,
+    certificate: Certificate,
+    new_server_public: ServerPublicKey,
+    new_public: UserPublicKey,
+    ca: CertificateAuthority,
+) -> None:
+    """Accept ``(aG', a·s'G')`` for server S' given a certificate on ``aG``.
+
+    Implements §5.3.4 end to end; raises :class:`KeyValidationError` on
+    any failed link.  Handles both the same-generator and the
+    changed-generator case (footnote 11).
+    """
+    if not ca.verify(certificate):
+        raise KeyValidationError("certificate signature invalid")
+    old_generator = certificate.generator
+    certified_a_g = certificate.a_generator
+    new_generator = new_server_public.generator
+
+    if new_generator == old_generator:
+        if new_public.a_generator != certified_a_g:
+            raise KeyValidationError("aG changed despite unchanged generator")
+    else:
+        # Same-`a` linkage across generators: ê(aG', G) == ê(G', aG).
+        left = group.pair(new_public.a_generator, old_generator)
+        right = group.pair(new_generator, certified_a_g)
+        if left != right:
+            raise KeyValidationError(
+                "new key does not use the certified secret a"
+            )
+    # The §5.3.4 check proper: ê(G', a·s'G') == ê(s'G', aG').
+    left = group.pair(new_generator, new_public.as_generator)
+    right = group.pair(new_server_public.s_generator, new_public.a_generator)
+    if left != right:
+        raise KeyValidationError("as'G' component fails the pairing check")

@@ -1,0 +1,131 @@
+"""Fujisaki–Okamoto transform of TRE (paper §5, pointer to [11]).
+
+The paper presents TRE as one-way/CPA-secure "for the sake of clarity"
+and notes that "similar to the technique in [4], this transform can be
+applied to our schemes to obtain chosen-ciphertext secure schemes".
+This module applies it, following the BasicIdent → FullIdent recipe of
+Boneh–Franklin:
+
+Encrypt(M):
+    σ ←$ {0,1}^k
+    r = H3(σ, M)                      (derandomization)
+    U = rG
+    V = σ ⊕ H2(ê(r·asG, H1(T)))       (TRE-encrypt σ with randomness r)
+    W = M ⊕ H4(σ)                      (one-time pad from σ)
+    C = ⟨U, V, W⟩
+
+Decrypt(C): recover σ from (U, V), recover M from W, recompute
+r = H3(σ, M) and **reject unless U == rG** — the re-encryption check
+that defeats chosen-ciphertext tampering, raised as
+:class:`~repro.errors.DecryptionError`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.keys import ServerPublicKey, UserKeyPair, UserPublicKey
+from repro.core.timeserver import TimeBoundKeyUpdate
+from repro.core.tre import H2_TAG, TimedReleaseScheme
+from repro.crypto.kdf import derive_key
+from repro.ec.point import CurvePoint
+from repro.encoding import pack_chunks, unpack_chunks, xor_bytes
+from repro.errors import DecryptionError, EncodingError, UpdateVerificationError
+from repro.pairing.api import PairingGroup
+
+_H3_TAG = "repro:FO:H3"
+_H4_LABEL = "repro:FO:H4"
+SIGMA_BYTES = 32
+
+
+@dataclass(frozen=True)
+class FOTRECiphertext:
+    """``⟨U, V, W⟩`` plus the public release-time label."""
+
+    u_point: CurvePoint
+    sigma_masked: bytes
+    message_masked: bytes
+    time_label: bytes
+
+    def to_bytes(self, group: PairingGroup) -> bytes:
+        return pack_chunks(
+            group.point_to_bytes(self.u_point),
+            self.sigma_masked,
+            self.message_masked,
+            self.time_label,
+        )
+
+    @classmethod
+    def from_bytes(cls, group: PairingGroup, data: bytes) -> "FOTRECiphertext":
+        chunks = unpack_chunks(data)
+        if len(chunks) != 4:
+            raise EncodingError("FO-TRE ciphertext must have 4 components")
+        return cls(group.point_from_bytes(chunks[0]), chunks[1], chunks[2], chunks[3])
+
+    def size_bytes(self, group: PairingGroup) -> int:
+        return len(self.to_bytes(group))
+
+
+class FOTimedReleaseScheme:
+    """Chosen-ciphertext-secure TRE via the Fujisaki–Okamoto transform."""
+
+    def __init__(self, group: PairingGroup):
+        self.group = group
+        self._base = TimedReleaseScheme(group)
+
+    def _derive_r(self, sigma: bytes, message: bytes, time_label: bytes) -> int:
+        return self.group.hash_to_scalar(sigma, message, time_label, tag=_H3_TAG)
+
+    def encrypt(
+        self,
+        message: bytes,
+        receiver_public: UserPublicKey,
+        server_public: ServerPublicKey,
+        time_label: bytes,
+        rng: random.Random,
+        verify_receiver_key: bool = True,
+    ) -> FOTRECiphertext:
+        if verify_receiver_key:
+            receiver_public.ensure_well_formed(self.group, server_public)
+        sigma = rng.randbytes(SIGMA_BYTES)
+        r = self._derive_r(sigma, message, time_label)
+        u_point = self.group.mul(server_public.generator, r)
+        k = self._base._sender_key(receiver_public, time_label, r)
+        sigma_masked = xor_bytes(
+            sigma, self.group.mask_bytes(k, SIGMA_BYTES, tag=H2_TAG)
+        )
+        message_masked = xor_bytes(
+            message, derive_key(sigma, len(message), _H4_LABEL)
+        )
+        return FOTRECiphertext(u_point, sigma_masked, message_masked, time_label)
+
+    def decrypt(
+        self,
+        ciphertext: FOTRECiphertext,
+        receiver: UserKeyPair | int,
+        update: TimeBoundKeyUpdate,
+        server_public: ServerPublicKey,
+    ) -> bytes:
+        """Decrypt and *verify*; any tampering raises DecryptionError."""
+        if update.time_label != ciphertext.time_label:
+            raise UpdateVerificationError(
+                "update is for a different release time than the ciphertext"
+            )
+        update.ensure_valid(self.group, server_public)
+        private = receiver.private if isinstance(receiver, UserKeyPair) else receiver
+        if len(ciphertext.sigma_masked) != SIGMA_BYTES:
+            raise DecryptionError("malformed sigma component")
+        k = self._base._receiver_key(ciphertext.u_point, private, update)
+        sigma = xor_bytes(
+            ciphertext.sigma_masked,
+            self.group.mask_bytes(k, SIGMA_BYTES, tag=H2_TAG),
+        )
+        message = xor_bytes(
+            ciphertext.message_masked,
+            derive_key(sigma, len(ciphertext.message_masked), _H4_LABEL),
+        )
+        r = self._derive_r(sigma, message, ciphertext.time_label)
+        if self.group.mul(server_public.generator, r) != ciphertext.u_point:
+            raise DecryptionError("FO re-encryption check failed")
+        return message

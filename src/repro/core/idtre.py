@@ -1,0 +1,134 @@
+"""ID-TRE — identity-based timed release encryption (paper §5.2).
+
+The Chen-et-al. multi-trust-authority idea: the receiver's "public key"
+is their identity string, the server doubles as the IBE private-key
+generator, and the encryption point is the *sum* ``H1(ID) + H1(T)``.
+The receiver combines their long-term key ``s·H1(ID)`` with the
+broadcast update ``s·H1(T)`` into ``s(H1(ID) + H1(T))`` and pairs once.
+
+Key escrow is inherent: the server knows ``s`` and can decrypt anything
+(demonstrated by :meth:`IdentityTimedReleaseScheme.server_decrypt`, and
+contrasted with TRE in experiment E11).  The compensating advantages are
+no receiver certificates and a cheaper decryption (one pairing, no GT
+exponentiation).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.keys import ServerKeyPair, ServerPublicKey
+from repro.core.timeserver import TimeBoundKeyUpdate
+from repro.ec.point import CurvePoint
+from repro.encoding import pack_chunks, unpack_chunks, xor_bytes
+from repro.errors import EncodingError, UpdateVerificationError
+from repro.pairing.api import PairingGroup
+
+H1_TAG = "repro:H1"
+H2_TAG = "repro:H2"
+
+
+@dataclass(frozen=True)
+class IDTRECiphertext:
+    """``C = ⟨U, V⟩`` plus the public release-time label."""
+
+    u_point: CurvePoint
+    masked: bytes
+    time_label: bytes
+
+    def to_bytes(self, group: PairingGroup) -> bytes:
+        return pack_chunks(
+            group.point_to_bytes(self.u_point), self.masked, self.time_label
+        )
+
+    @classmethod
+    def from_bytes(cls, group: PairingGroup, data: bytes) -> "IDTRECiphertext":
+        chunks = unpack_chunks(data)
+        if len(chunks) != 3:
+            raise EncodingError("ID-TRE ciphertext must have 3 components")
+        return cls(group.point_from_bytes(chunks[0]), chunks[1], chunks[2])
+
+    def size_bytes(self, group: PairingGroup) -> int:
+        return len(self.to_bytes(group))
+
+
+@dataclass(frozen=True)
+class IDUserKey:
+    """A user's extracted private key ``s·H1(ID)`` and their identity."""
+
+    identity: bytes
+    point: CurvePoint
+
+
+class IdentityTimedReleaseScheme:
+    """ID-TRE over a symmetric pairing group."""
+
+    def __init__(self, group: PairingGroup):
+        self.group = group
+
+    def hash_identity(self, identity: bytes) -> CurvePoint:
+        return self.group.hash_to_g1(identity, tag=H1_TAG)
+
+    def extract_user_key(
+        self, server: ServerKeyPair, identity: bytes
+    ) -> IDUserKey:
+        """The server-as-PKG hands user ``ID`` the key ``s·H1(ID)``.
+
+        This is the step that makes escrow inherent: the server computes
+        (and therefore knows) every user's private key.
+        """
+        point = self.group.mul(self.hash_identity(identity), server.private)
+        return IDUserKey(identity, point)
+
+    def encrypt(
+        self,
+        message: bytes,
+        identity: bytes,
+        server_public: ServerPublicKey,
+        time_label: bytes,
+        rng: random.Random,
+    ) -> IDTRECiphertext:
+        """§5.2: ``K = ê(sG, H1(ID) + H1(T))^r``, ``C = ⟨rG, M ⊕ H2(K)⟩``."""
+        k_e = self.group.add(
+            self.hash_identity(identity),
+            self.group.hash_to_g1(time_label, tag=H1_TAG),
+        )
+        r = self.group.random_scalar(rng)
+        k = self.group.pair(server_public.s_generator, k_e) ** r
+        u_point = self.group.mul(server_public.generator, r)
+        mask = self.group.mask_bytes(k, len(message), tag=H2_TAG)
+        return IDTRECiphertext(u_point, xor_bytes(message, mask), time_label)
+
+    def decrypt(
+        self,
+        ciphertext: IDTRECiphertext,
+        user_key: IDUserKey,
+        update: TimeBoundKeyUpdate,
+        server_public: ServerPublicKey | None = None,
+    ) -> bytes:
+        """Combine ``s·H1(ID) + s·H1(T)`` and pair once with ``U``."""
+        if server_public is not None:
+            if update.time_label != ciphertext.time_label:
+                raise UpdateVerificationError(
+                    "update is for a different release time than the ciphertext"
+                )
+            update.ensure_valid(self.group, server_public)
+        k_d = self.group.add(user_key.point, update.point)
+        k = self.group.pair(ciphertext.u_point, k_d)
+        mask = self.group.mask_bytes(k, len(ciphertext.masked), tag=H2_TAG)
+        return xor_bytes(ciphertext.masked, mask)
+
+    def server_decrypt(
+        self, ciphertext: IDTRECiphertext, server: ServerKeyPair, identity: bytes
+    ) -> bytes:
+        """The escrow attack the paper warns about: the server, knowing
+        ``s``, decrypts any user's ciphertext without any update."""
+        k_e = self.group.add(
+            self.hash_identity(identity),
+            self.group.hash_to_g1(ciphertext.time_label, tag=H1_TAG),
+        )
+        k_d = self.group.mul(k_e, server.private)
+        k = self.group.pair(ciphertext.u_point, k_d)
+        mask = self.group.mask_bytes(k, len(ciphertext.masked), tag=H2_TAG)
+        return xor_bytes(ciphertext.masked, mask)

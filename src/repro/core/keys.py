@@ -1,0 +1,171 @@
+"""Key material for the TRE scheme (paper §5.1, "Key Generation").
+
+* The **server** picks its own generator ``G`` of ``G1`` and a secret
+  ``s``; its public key is the pair ``(G, sG)``.
+* A **user** picks a secret ``a`` (optionally derived from a password via
+  a hash, as the paper suggests) and publishes ``(aG, asG)``.  The
+  ``asG`` half ties the key to the chosen time server, which is what
+  forces decryption to involve the server's time-bound key update.
+
+``UserPublicKey.verify_well_formed`` is the pairing check from Encrypt
+step 1: ``ê(aG, sG) == ê(G, asG)``.  A sender must run it before
+encrypting; a malformed key (e.g. ``(aG, bG)`` with ``b != a*s``) could
+otherwise let the receiver decrypt without the update.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.crypto.kdf import derive_key
+from repro.ec.point import CurvePoint
+from repro.encoding import pack_chunks, unpack_chunks
+from repro.errors import EncodingError, KeyValidationError
+from repro.pairing.api import PairingGroup
+
+
+@dataclass(frozen=True)
+class ServerPublicKey:
+    """The time server's public key ``PK_S = (G, sG)``."""
+
+    generator: CurvePoint
+    s_generator: CurvePoint
+
+    def to_bytes(self, group: PairingGroup) -> bytes:
+        return pack_chunks(
+            group.point_to_bytes(self.generator),
+            group.point_to_bytes(self.s_generator),
+        )
+
+    @classmethod
+    def from_bytes(cls, group: PairingGroup, data: bytes) -> "ServerPublicKey":
+        chunks = unpack_chunks(data)
+        if len(chunks) != 2:
+            raise EncodingError("server public key must have 2 components")
+        return cls(
+            group.point_from_bytes(chunks[0]), group.point_from_bytes(chunks[1])
+        )
+
+
+@dataclass(frozen=True)
+class ServerKeyPair:
+    """The time server's key pair: private ``s`` plus ``(G, sG)``."""
+
+    private: int
+    public: ServerPublicKey
+
+    @classmethod
+    def generate(
+        cls, group: PairingGroup, rng: random.Random, generator: CurvePoint | None = None
+    ) -> "ServerKeyPair":
+        """Server key generation (§5.1): pick ``G`` and ``s``, publish both.
+
+        The paper lets the server pick any generator; by default we pick
+        a random one (a random scalar multiple of the library generator,
+        which generates the whole prime-order subgroup).
+        """
+        if generator is None:
+            generator = group.mul(group.generator, group.random_scalar(rng))
+        s = group.random_scalar(rng)
+        return cls(s, ServerPublicKey(generator, group.mul(generator, s)))
+
+
+@dataclass(frozen=True)
+class UserPublicKey:
+    """A receiver's public key ``PK_U = (aG, asG)``."""
+
+    a_generator: CurvePoint
+    as_generator: CurvePoint
+
+    def verify_well_formed(
+        self, group: PairingGroup, server_public: ServerPublicKey
+    ) -> bool:
+        """Encrypt step 1: check ``ê(aG, sG) == ê(G, asG)``.
+
+        True exactly when the second component really is ``a × sG``, so
+        the receiver genuinely needs the server's update to decrypt.
+        """
+        left = group.pair(self.a_generator, server_public.s_generator)
+        right = group.pair(server_public.generator, self.as_generator)
+        return left == right
+
+    def ensure_well_formed(
+        self, group: PairingGroup, server_public: ServerPublicKey
+    ) -> None:
+        if not self.verify_well_formed(group, server_public):
+            raise KeyValidationError(
+                "receiver public key is not of the form (aG, a*sG)"
+            )
+
+    def to_bytes(self, group: PairingGroup) -> bytes:
+        return pack_chunks(
+            group.point_to_bytes(self.a_generator),
+            group.point_to_bytes(self.as_generator),
+        )
+
+    @classmethod
+    def from_bytes(cls, group: PairingGroup, data: bytes) -> "UserPublicKey":
+        chunks = unpack_chunks(data)
+        if len(chunks) != 2:
+            raise EncodingError("user public key must have 2 components")
+        return cls(
+            group.point_from_bytes(chunks[0]), group.point_from_bytes(chunks[1])
+        )
+
+
+@dataclass(frozen=True)
+class UserKeyPair:
+    """A receiver's key pair: private ``a`` plus ``(aG, asG)``."""
+
+    private: int
+    public: UserPublicKey
+
+    @classmethod
+    def generate(
+        cls,
+        group: PairingGroup,
+        server_public: ServerPublicKey,
+        rng: random.Random,
+    ) -> "UserKeyPair":
+        """User key generation (§5.1) against a chosen time server."""
+        a = group.random_scalar(rng)
+        return cls.from_secret(group, server_public, a)
+
+    @classmethod
+    def from_password(
+        cls, group: PairingGroup, server_public: ServerPublicKey, password: str
+    ) -> "UserKeyPair":
+        """Derive ``a`` from a human-memorable password (§5.1 note).
+
+        The paper suggests "applying a good hash function" to the
+        password; we KDF it into ``Z_q^*``.
+        """
+        digest = derive_key(password.encode(), 2 * group.scalar_bytes, "repro:pwkey")
+        a = int.from_bytes(digest, "big") % (group.q - 1) + 1
+        return cls.from_secret(group, server_public, a)
+
+    @classmethod
+    def from_secret(
+        cls, group: PairingGroup, server_public: ServerPublicKey, a: int
+    ) -> "UserKeyPair":
+        a %= group.q
+        if a == 0:
+            raise KeyValidationError("user secret must be in Z_q^*")
+        public = UserPublicKey(
+            group.mul(server_public.generator, a),
+            group.mul(server_public.s_generator, a),
+        )
+        return cls(a, public)
+
+    def rekey_to_server(
+        self, group: PairingGroup, new_server_public: ServerPublicKey
+    ) -> "UserKeyPair":
+        """Re-derive the public key against a different time server.
+
+        Used by the §5.3.4 server-change flow: the same secret ``a``
+        yields ``(aG', as'G')`` under the new server, and third parties
+        can link it to the CA-certified old key without re-certification
+        (see :mod:`repro.core.certification`).
+        """
+        return self.from_secret(group, new_server_public, self.private)

@@ -1,0 +1,351 @@
+"""Policy-lock encryption — the generalization of §5.3.2.
+
+The time server "essentially sends out a signed message on T ∈ {0,1}*";
+nothing in the construction cares that T denotes a time.  A *witness*
+server can sign arbitrary condition strings ("It is an emergency",
+"The receiver has completed task X"), and a sender can lock a message
+under any such condition.
+
+Beyond the paper's single-condition sketch, this module supports:
+
+* **Conjunction** (ALL of ``C_1..C_m``): encrypt against the point sum
+  ``Σ H1(C_j)``.  By bilinearity the receiver needs the *sum of the
+  witness signatures* ``Σ s·H1(C_j) = s·Σ H1(C_j)``, i.e. every single
+  condition attested — one pairing regardless of ``m``.
+* **Disjunction** (ANY of ``C_1..C_m``): encapsulate the same session
+  key once per condition; any one attestation opens the message.
+* **Threshold** (any ``t`` of ``C_1..C_m``): Shamir-share the session
+  key over ``Z_q`` and encapsulate one share per condition; any ``t``
+  attested conditions reconstruct the key, ``t-1`` reveal nothing.
+  (AND and OR are the ``t=m`` and ``t=1`` corners, kept as dedicated
+  code paths because they are cheaper.)
+
+The witness server is just a :class:`~repro.core.timeserver.PassiveTimeServer`
+signing condition strings instead of time strings, so everything
+(self-authentication, single broadcast for all users, passivity)
+carries over.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.keys import ServerPublicKey, UserKeyPair, UserPublicKey
+from repro.core.timeserver import TimeBoundKeyUpdate
+from repro.core.tre import H1_TAG, H2_TAG
+from repro.crypto.authenc import aead_decrypt, aead_encrypt
+from repro.ec.point import CurvePoint
+from repro.encoding import pack_chunks, unpack_chunks, xor_bytes
+from repro.errors import EncodingError, PolicyError
+from repro.pairing.api import PairingGroup
+
+_KEY_BYTES = 32
+
+
+@dataclass(frozen=True)
+class ConjunctionCiphertext:
+    """Locked under ALL listed conditions: ``⟨U, V, (C_1..C_m)⟩``."""
+
+    u_point: CurvePoint
+    masked: bytes
+    conditions: tuple[bytes, ...]
+
+    def to_bytes(self, group: PairingGroup) -> bytes:
+        return pack_chunks(
+            group.point_to_bytes(self.u_point),
+            self.masked,
+            pack_chunks(*self.conditions),
+        )
+
+    @classmethod
+    def from_bytes(cls, group: PairingGroup, data: bytes) -> "ConjunctionCiphertext":
+        chunks = unpack_chunks(data)
+        if len(chunks) != 3:
+            raise EncodingError("conjunction ciphertext must have 3 components")
+        return cls(
+            group.point_from_bytes(chunks[0]),
+            chunks[1],
+            tuple(unpack_chunks(chunks[2])),
+        )
+
+
+@dataclass(frozen=True)
+class DisjunctionCiphertext:
+    """Locked under ANY listed condition: one ``U_j`` per alternative."""
+
+    u_points: tuple[CurvePoint, ...]
+    sealed: bytes
+    conditions: tuple[bytes, ...]
+
+
+class PolicyLockScheme:
+    """Condition-locked public-key encryption over a witness server."""
+
+    def __init__(self, group: PairingGroup):
+        self.group = group
+
+    def _policy_point(self, conditions: tuple[bytes, ...]) -> CurvePoint:
+        if not conditions:
+            raise PolicyError("policy needs at least one condition")
+        if len(set(conditions)) != len(conditions):
+            raise PolicyError("duplicate conditions in policy")
+        total = self.group.identity()
+        for condition in conditions:
+            total = self.group.add(
+                total, self.group.hash_to_g1(condition, tag=H1_TAG)
+            )
+        return total
+
+    # ------------------------------------------------------------------
+    # Conjunction (ALL conditions).
+    # ------------------------------------------------------------------
+
+    def encrypt_all(
+        self,
+        message: bytes,
+        receiver_public: UserPublicKey,
+        server_public: ServerPublicKey,
+        conditions: list[bytes],
+        rng: random.Random,
+        verify_receiver_key: bool = True,
+    ) -> ConjunctionCiphertext:
+        """Lock ``message`` until every condition has been attested."""
+        conditions = tuple(conditions)
+        if verify_receiver_key:
+            receiver_public.ensure_well_formed(self.group, server_public)
+        policy_point = self._policy_point(conditions)
+        r = self.group.random_scalar(rng)
+        u_point = self.group.mul(server_public.generator, r)
+        k = self.group.pair(
+            self.group.mul(receiver_public.as_generator, r), policy_point
+        )
+        mask = self.group.mask_bytes(k, len(message), tag=H2_TAG)
+        return ConjunctionCiphertext(u_point, xor_bytes(message, mask), conditions)
+
+    def decrypt_all(
+        self,
+        ciphertext: ConjunctionCiphertext,
+        receiver: UserKeyPair | int,
+        attestations: list[TimeBoundKeyUpdate],
+        server_public: ServerPublicKey | None = None,
+    ) -> bytes:
+        """Open with one witness attestation per condition, any order."""
+        private = receiver.private if isinstance(receiver, UserKeyPair) else receiver
+        by_label = {att.time_label: att for att in attestations}
+        if set(by_label) != set(ciphertext.conditions):
+            missing = set(ciphertext.conditions) - set(by_label)
+            raise PolicyError(f"missing attestations for {sorted(missing)}")
+        combined = self.group.identity()
+        for condition in ciphertext.conditions:
+            attestation = by_label[condition]
+            if server_public is not None:
+                attestation.ensure_valid(self.group, server_public)
+            combined = self.group.add(combined, attestation.point)
+        k = self.group.pair(ciphertext.u_point, combined) ** private
+        mask = self.group.mask_bytes(k, len(ciphertext.masked), tag=H2_TAG)
+        return xor_bytes(ciphertext.masked, mask)
+
+    # ------------------------------------------------------------------
+    # Disjunction (ANY condition).
+    # ------------------------------------------------------------------
+
+    def encrypt_any(
+        self,
+        message: bytes,
+        receiver_public: UserPublicKey,
+        server_public: ServerPublicKey,
+        conditions: list[bytes],
+        rng: random.Random,
+        verify_receiver_key: bool = True,
+    ) -> DisjunctionCiphertext:
+        """Lock ``message`` so any single attested condition opens it.
+
+        The session key is encapsulated independently under each
+        condition with fresh randomness; the payload is sealed once
+        under an authenticated DEM so a wrong branch fails loudly.
+        """
+        conditions = tuple(conditions)
+        if not conditions:
+            raise PolicyError("policy needs at least one condition")
+        if verify_receiver_key:
+            receiver_public.ensure_well_formed(self.group, server_public)
+        session_key = rng.randbytes(_KEY_BYTES)
+        u_points = []
+        masked_keys = []
+        for condition in conditions:
+            r = self.group.random_scalar(rng)
+            u_points.append(self.group.mul(server_public.generator, r))
+            k = self.group.pair(
+                self.group.mul(receiver_public.as_generator, r),
+                self.group.hash_to_g1(condition, tag=H1_TAG),
+            )
+            masked_keys.append(
+                xor_bytes(session_key, self.group.mask_bytes(k, _KEY_BYTES, tag=H2_TAG))
+            )
+        sealed = aead_encrypt(
+            session_key, b"policy", message, associated_data=pack_chunks(*conditions)
+        )
+        # Masked per-branch keys ride inside `sealed`'s framing.
+        blob = pack_chunks(pack_chunks(*masked_keys), sealed)
+        return DisjunctionCiphertext(tuple(u_points), blob, conditions)
+
+    def decrypt_any(
+        self,
+        ciphertext: DisjunctionCiphertext,
+        receiver: UserKeyPair | int,
+        attestation: TimeBoundKeyUpdate,
+        server_public: ServerPublicKey | None = None,
+    ) -> bytes:
+        """Open with a single attestation for any one listed condition."""
+        private = receiver.private if isinstance(receiver, UserKeyPair) else receiver
+        if attestation.time_label not in ciphertext.conditions:
+            raise PolicyError(
+                f"attestation {attestation.time_label!r} not in this policy"
+            )
+        if server_public is not None:
+            attestation.ensure_valid(self.group, server_public)
+        index = ciphertext.conditions.index(attestation.time_label)
+        masked_blob, sealed = unpack_chunks(ciphertext.sealed)
+        masked_keys = unpack_chunks(masked_blob)
+        k = self.group.pair(ciphertext.u_points[index], attestation.point) ** private
+        session_key = xor_bytes(
+            masked_keys[index], self.group.mask_bytes(k, _KEY_BYTES, tag=H2_TAG)
+        )
+        return aead_decrypt(
+            session_key,
+            b"policy",
+            sealed,
+            associated_data=pack_chunks(*ciphertext.conditions),
+        )
+
+
+@dataclass(frozen=True)
+class ThresholdPolicyCiphertext:
+    """Locked under any ``threshold`` of the listed conditions."""
+
+    threshold: int
+    u_points: tuple[CurvePoint, ...]
+    sealed: bytes
+    conditions: tuple[bytes, ...]
+
+
+class ThresholdPolicyScheme:
+    """t-of-m condition locks via Shamir sharing of the session key."""
+
+    def __init__(self, group: PairingGroup):
+        self.group = group
+        self._base = PolicyLockScheme(group)
+
+    def encrypt(
+        self,
+        message: bytes,
+        receiver_public: UserPublicKey,
+        server_public: ServerPublicKey,
+        conditions: list[bytes],
+        threshold: int,
+        rng: random.Random,
+        verify_receiver_key: bool = True,
+    ) -> ThresholdPolicyCiphertext:
+        """Lock ``message`` so any ``threshold`` attested conditions open it.
+
+        The session key is a random scalar shared with a degree-(t-1)
+        polynomial; share ``i`` (at x = i+1) is masked under condition
+        ``C_i`` exactly like a single-condition TRE encapsulation.
+        """
+        conditions = tuple(conditions)
+        if not 1 <= threshold <= len(conditions):
+            raise PolicyError("need 1 <= threshold <= number of conditions")
+        if len(set(conditions)) != len(conditions):
+            raise PolicyError("duplicate conditions in policy")
+        if verify_receiver_key:
+            receiver_public.ensure_well_formed(self.group, server_public)
+
+        q = self.group.q
+        coefficients = [self.group.random_scalar(rng) for _ in range(threshold)]
+        session_secret = coefficients[0]
+
+        def share_at(x: int) -> int:
+            value = 0
+            for coefficient in reversed(coefficients):
+                value = (value * x + coefficient) % q
+            return value
+
+        u_points = []
+        masked_shares = []
+        for index, condition in enumerate(conditions):
+            r = self.group.random_scalar(rng)
+            u_points.append(self.group.mul(server_public.generator, r))
+            k = self.group.pair(
+                self.group.mul(receiver_public.as_generator, r),
+                self.group.hash_to_g1(condition, tag=H1_TAG),
+            )
+            share = share_at(index + 1)
+            share_bytes = share.to_bytes(self.group.scalar_bytes + 1, "big")
+            masked_shares.append(xor_bytes(
+                share_bytes,
+                self.group.mask_bytes(k, len(share_bytes), tag=H2_TAG),
+            ))
+
+        session_key = session_secret.to_bytes(self.group.scalar_bytes + 1, "big")
+        sealed = aead_encrypt(
+            session_key, b"tpolicy", message,
+            associated_data=pack_chunks(threshold.to_bytes(2, "big"), *conditions),
+        )
+        blob = pack_chunks(pack_chunks(*masked_shares), sealed)
+        return ThresholdPolicyCiphertext(
+            threshold, tuple(u_points), blob, conditions
+        )
+
+    def decrypt(
+        self,
+        ciphertext: ThresholdPolicyCiphertext,
+        receiver: UserKeyPair | int,
+        attestations: list[TimeBoundKeyUpdate],
+        server_public: ServerPublicKey | None = None,
+    ) -> bytes:
+        """Open with any ``threshold`` distinct attested conditions."""
+        from repro.core.threshold import lagrange_coefficient_at_zero
+
+        private = receiver.private if isinstance(receiver, UserKeyPair) else receiver
+        by_label = {}
+        for attestation in attestations:
+            if attestation.time_label in ciphertext.conditions:
+                by_label.setdefault(attestation.time_label, attestation)
+        if len(by_label) < ciphertext.threshold:
+            raise PolicyError(
+                f"need {ciphertext.threshold} attested conditions, "
+                f"have {len(by_label)}"
+            )
+        masked_blob, sealed = unpack_chunks(ciphertext.sealed)
+        masked_shares = unpack_chunks(masked_blob)
+
+        q = self.group.q
+        recovered: dict[int, int] = {}
+        for label, attestation in list(by_label.items())[: ciphertext.threshold]:
+            if server_public is not None:
+                attestation.ensure_valid(self.group, server_public)
+            index = ciphertext.conditions.index(label)
+            k = self.group.pair(
+                ciphertext.u_points[index], attestation.point
+            ) ** private
+            share_bytes = xor_bytes(
+                masked_shares[index],
+                self.group.mask_bytes(
+                    k, len(masked_shares[index]), tag=H2_TAG
+                ),
+            )
+            recovered[index + 1] = int.from_bytes(share_bytes, "big") % q
+
+        xs = sorted(recovered)
+        secret = 0
+        for x in xs:
+            coefficient = lagrange_coefficient_at_zero(xs, x, q)
+            secret = (secret + coefficient * recovered[x]) % q
+        session_key = secret.to_bytes(self.group.scalar_bytes + 1, "big")
+        return aead_decrypt(
+            session_key, b"tpolicy", sealed,
+            associated_data=pack_chunks(
+                ciphertext.threshold.to_bytes(2, "big"), *ciphertext.conditions
+            ),
+        )

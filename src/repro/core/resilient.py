@@ -1,0 +1,357 @@
+"""Missing-update-resilient TRE — the paper's stated future work (§6).
+
+In plain TRE "a key update ``s·H1(T)`` could only be used to decrypt
+messages with release time ``T``, but not any ``T_i < T``"; receivers
+who miss a broadcast must consult the server's archive.  The paper's
+conclusion proposes fixing this "using the hierarchical identity based
+encryption in a way similar to forward secure encryption [7]".  This
+module builds exactly that construction:
+
+* Time is a depth-``d`` binary tree; epoch ``t`` is the leaf whose path
+  is the ``d``-bit binary expansion of ``t``.
+* A Gentry–Silverberg HIBE node key for path ``(b_1..b_k)`` is
+
+      S = s·P_1 + Σ_{i=2..k} r_i·P_i,    Q_i = r_i·G,
+
+  with ``P_i = H1(b_1..b_i)``.  Holding a node key lets *anyone* derive
+  keys for all descendants (add a fresh ``r·P`` per level) — but never
+  for any other subtree.
+* At time ``t`` the server broadcasts node keys for the **left cover**
+  of ``[0, t]``: the ≤ d+1 maximal subtrees containing exactly the
+  leaves ``0..t``.  One such broadcast therefore unlocks *every elapsed
+  epoch at once* — a receiver who missed arbitrarily many updates
+  recovers from the single latest one.
+* Encryption stays receiver-bound exactly as in TRE: the session key is
+  ``ê(a·sG, P_1)^r``, so decryption needs the receiver's ``a`` *and* a
+  node key covering the release epoch; the server (before time ``t``)
+  and other users still learn nothing.
+
+Costs (measured in experiment E13): the update grows from one point to
+O(d²/2) points worst-case and decryption from one pairing to ≤ d+1
+pairings — the price of resilience, exactly the trade the paper
+anticipated.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.keys import ServerKeyPair, ServerPublicKey, UserKeyPair, UserPublicKey
+from repro.core.tre import H2_TAG
+from repro.ec.point import CurvePoint
+from repro.encoding import pack_chunks, xor_bytes
+from repro.errors import (
+    ParameterError,
+    UpdateNotAvailableError,
+    UpdateVerificationError,
+)
+from repro.pairing.api import GTElement, PairingGroup
+
+_TREE_TAG = "repro:H1:tree"
+
+
+def epoch_path(epoch: int, depth: int) -> tuple[int, ...]:
+    """The leaf path of ``epoch``: its ``depth``-bit big-endian expansion."""
+    if not 0 <= epoch < (1 << depth):
+        raise ParameterError(f"epoch {epoch} out of range for depth {depth}")
+    return tuple((epoch >> (depth - 1 - i)) & 1 for i in range(depth))
+
+
+def left_cover(epoch: int, depth: int) -> list[tuple[int, ...]]:
+    """Maximal subtree roots covering exactly the leaves ``0..epoch``.
+
+    For every 1-bit in the path, the 0-sibling subtree at that level is
+    entirely in the past; the leaf itself completes the cover.
+    """
+    path = epoch_path(epoch, depth)
+    cover: list[tuple[int, ...]] = []
+    for level, bit in enumerate(path):
+        if bit == 1:
+            cover.append(path[:level] + (0,))
+    cover.append(path)
+    return cover
+
+
+@dataclass(frozen=True)
+class NodeKey:
+    """A GS-HIBE node key: ``(path, S, [Q_2..Q_k])``."""
+
+    path: tuple[int, ...]
+    s_point: CurvePoint
+    q_points: tuple[CurvePoint, ...]
+
+    @property
+    def depth(self) -> int:
+        return len(self.path)
+
+    def covers(self, leaf: tuple[int, ...]) -> bool:
+        return leaf[: len(self.path)] == self.path
+
+    def point_count(self) -> int:
+        return 1 + len(self.q_points)
+
+
+@dataclass(frozen=True)
+class ResilientUpdate:
+    """The broadcast for time ``t``: node keys for the left cover of [0,t]."""
+
+    epoch: int
+    depth: int
+    node_keys: tuple[NodeKey, ...]
+
+    def point_count(self) -> int:
+        return sum(key.point_count() for key in self.node_keys)
+
+    def size_bytes(self, group: PairingGroup) -> int:
+        total = 16  # epoch + depth framing
+        for key in self.node_keys:
+            total += len(key.path)
+            total += key.point_count() * group.point_bytes
+        return total
+
+    def to_bytes(self, group: PairingGroup) -> bytes:
+        key_blobs = []
+        for key in self.node_keys:
+            key_blobs.append(pack_chunks(
+                bytes(key.path),
+                group.point_to_bytes(key.s_point),
+                pack_chunks(*(group.point_to_bytes(q) for q in key.q_points)),
+            ))
+        return pack_chunks(
+            self.epoch.to_bytes(8, "big"),
+            self.depth.to_bytes(2, "big"),
+            pack_chunks(*key_blobs),
+        )
+
+    @classmethod
+    def from_bytes(cls, group: PairingGroup, data: bytes) -> "ResilientUpdate":
+        from repro.encoding import unpack_chunks
+        from repro.errors import EncodingError
+
+        chunks = unpack_chunks(data)
+        if len(chunks) != 3:
+            raise EncodingError("resilient update must have 3 components")
+        epoch = int.from_bytes(chunks[0], "big")
+        depth = int.from_bytes(chunks[1], "big")
+        node_keys = []
+        for blob in unpack_chunks(chunks[2]):
+            path_bytes, s_blob, q_blob = unpack_chunks(blob)
+            if any(b not in (0, 1) for b in path_bytes):
+                raise EncodingError("node path bits must be 0 or 1")
+            node_keys.append(NodeKey(
+                tuple(path_bytes),
+                group.point_from_bytes(s_blob),
+                tuple(group.point_from_bytes(q) for q in unpack_chunks(q_blob)),
+            ))
+        return cls(epoch, depth, tuple(node_keys))
+
+
+@dataclass(frozen=True)
+class ResilientCiphertext:
+    """``(U_0, U_2..U_d, V)`` plus the release epoch."""
+
+    epoch: int
+    depth: int
+    u0: CurvePoint
+    u_points: tuple[CurvePoint, ...]  # r·P_i for levels 2..d
+    masked: bytes
+
+
+class HierarchicalTimeTree:
+    """Shared tree geometry + hash-to-group identities for one deployment."""
+
+    def __init__(self, group: PairingGroup, depth: int, namespace: bytes = b"time"):
+        if depth < 1:
+            raise ParameterError("tree depth must be at least 1")
+        self.group = group
+        self.depth = depth
+        self.namespace = namespace
+
+    def node_point(self, path: tuple[int, ...]) -> CurvePoint:
+        """``P_k = H1(namespace, depth, b_1..b_k)``."""
+        label = pack_chunks(
+            self.namespace,
+            self.depth.to_bytes(2, "big"),
+            bytes(path),
+        )
+        return self.group.hash_to_g1(label, tag=_TREE_TAG)
+
+    def path_points(self, path: tuple[int, ...]) -> list[CurvePoint]:
+        return [self.node_point(path[: i + 1]) for i in range(len(path))]
+
+
+class ResilientTimeServer:
+    """A passive server whose broadcasts unlock *all* elapsed epochs."""
+
+    def __init__(
+        self,
+        group: PairingGroup,
+        depth: int,
+        rng: random.Random,
+        keypair: ServerKeyPair | None = None,
+        namespace: bytes = b"time",
+    ):
+        self.group = group
+        self.tree = HierarchicalTimeTree(group, depth, namespace)
+        self._keypair = keypair or ServerKeyPair.generate(group, rng)
+        self._rng = rng
+        self.latest_epoch: int | None = None
+
+    @property
+    def public_key(self) -> ServerPublicKey:
+        return self._keypair.public
+
+    @property
+    def depth(self) -> int:
+        return self.tree.depth
+
+    def _make_node_key(self, path: tuple[int, ...]) -> NodeKey:
+        """``S = s·P_1 + Σ r_i·P_i`` with fresh ``r_i`` (footnote 4 still
+        holds: nothing is remembered between broadcasts)."""
+        points = self.tree.path_points(path)
+        s_point = self.group.mul(points[0], self._keypair.private)
+        q_points = []
+        for point in points[1:]:
+            r = self.group.random_scalar(self._rng)
+            s_point = self.group.add(s_point, self.group.mul(point, r))
+            q_points.append(self.group.mul(self.public_key.generator, r))
+        return NodeKey(path, s_point, tuple(q_points))
+
+    def publish_update(self, epoch: int) -> ResilientUpdate:
+        """One broadcast covering every epoch ``<= epoch``."""
+        cover = left_cover(epoch, self.depth)
+        update = ResilientUpdate(
+            epoch, self.depth, tuple(self._make_node_key(p) for p in cover)
+        )
+        if self.latest_epoch is None or epoch > self.latest_epoch:
+            self.latest_epoch = epoch
+        return update
+
+    def verify_node_key(self, key: NodeKey) -> bool:
+        """Self-authentication, generalized: check
+        ``ê(G, S) == ê(sG, P_1) · Π ê(Q_i, P_i)``."""
+        if not self.group.in_group(key.s_point):
+            return False
+        points = self.tree.path_points(key.path)
+        if len(points) != len(key.q_points) + 1:
+            return False
+        left = self.group.pair(self.public_key.generator, key.s_point)
+        right = self.group.pair(self.public_key.s_generator, points[0])
+        for q_point, point in zip(key.q_points, points[1:]):
+            right = right * self.group.pair(q_point, point)
+        return left == right
+
+
+class ResilientTRE:
+    """TRE whose decryption accepts any covering node key.
+
+    Bound to one server's public key: the translation points ``Q_i``
+    must use the same generator as the ciphertext's ``U_0`` for the
+    pairing ratios to cancel, so key derivation needs ``G``.
+    """
+
+    def __init__(
+        self,
+        group: PairingGroup,
+        tree: HierarchicalTimeTree,
+        server_public: ServerPublicKey,
+    ):
+        self.group = group
+        self.tree = tree
+        self.server_public = server_public
+
+    def generate_user_keypair(
+        self, server_public: ServerPublicKey, rng: random.Random
+    ) -> UserKeyPair:
+        return UserKeyPair.generate(self.group, server_public, rng)
+
+    def encrypt(
+        self,
+        message: bytes,
+        receiver_public: UserPublicKey,
+        epoch: int,
+        rng: random.Random,
+        verify_receiver_key: bool = True,
+    ) -> ResilientCiphertext:
+        """GS-HIBE encryption bound to the receiver's ``asG``."""
+        if verify_receiver_key:
+            receiver_public.ensure_well_formed(self.group, self.server_public)
+        path = epoch_path(epoch, self.tree.depth)
+        points = self.tree.path_points(path)
+        r = self.group.random_scalar(rng)
+        u0 = self.group.mul(self.server_public.generator, r)
+        u_points = tuple(self.group.mul(p, r) for p in points[1:])
+        # K = ê(a·sG, P_1)^r — receiver-bound exactly like plain TRE.
+        k = self.group.pair(receiver_public.as_generator, points[0]) ** r
+        mask = self.group.mask_bytes(k, len(message), tag=H2_TAG)
+        return ResilientCiphertext(
+            epoch, self.tree.depth, u0, u_points, xor_bytes(message, mask)
+        )
+
+    def derive_leaf_key(
+        self, node_key: NodeKey, epoch: int, rng: random.Random
+    ) -> NodeKey:
+        """Public derivation: extend a covering node key down to a leaf.
+
+        Each added level appends a fresh ``r·P`` to ``S`` and ``r·G`` to
+        the translation list — no secret input needed, which is what
+        makes one broadcast serve every past epoch.
+        """
+        leaf = epoch_path(epoch, self.tree.depth)
+        if not node_key.covers(leaf):
+            raise UpdateNotAvailableError(
+                f"node key for {node_key.path} does not cover epoch {epoch}"
+            )
+        s_point = node_key.s_point
+        q_points = list(node_key.q_points)
+        for level in range(node_key.depth, self.tree.depth):
+            point = self.tree.node_point(leaf[: level + 1])
+            r = self.group.random_scalar(rng)
+            s_point = self.group.add(s_point, self.group.mul(point, r))
+            q_points.append(self.group.mul(self.server_public.generator, r))
+        return NodeKey(leaf, s_point, tuple(q_points))
+
+    def find_covering_key(
+        self, update: ResilientUpdate, epoch: int
+    ) -> NodeKey:
+        leaf = epoch_path(epoch, self.tree.depth)
+        for key in update.node_keys:
+            if key.covers(leaf):
+                return key
+        raise UpdateNotAvailableError(
+            f"update for epoch {update.epoch} does not cover epoch {epoch}"
+        )
+
+    def decrypt(
+        self,
+        ciphertext: ResilientCiphertext,
+        receiver: UserKeyPair | int,
+        update_or_leaf_key: ResilientUpdate | NodeKey,
+        rng: random.Random | None = None,
+    ) -> bytes:
+        """Decrypt with any update published at or after the release epoch.
+
+        ``K' = [ê(U_0, S_leaf) / Π ê(Q_i, U_i)]^a``.
+        """
+        private = receiver.private if isinstance(receiver, UserKeyPair) else receiver
+        if isinstance(update_or_leaf_key, ResilientUpdate):
+            if rng is None:
+                raise ParameterError("derivation from an update needs an rng")
+            covering = self.find_covering_key(update_or_leaf_key, ciphertext.epoch)
+            leaf_key = self.derive_leaf_key(covering, ciphertext.epoch, rng)
+        else:
+            leaf_key = update_or_leaf_key
+        leaf = epoch_path(ciphertext.epoch, self.tree.depth)
+        if leaf_key.path != leaf:
+            raise UpdateVerificationError(
+                "leaf key does not match the ciphertext's release epoch"
+            )
+        if len(leaf_key.q_points) != len(ciphertext.u_points):
+            raise UpdateVerificationError("malformed leaf key or ciphertext")
+        k: GTElement = self.group.pair(ciphertext.u0, leaf_key.s_point)
+        for q_point, u_point in zip(leaf_key.q_points, ciphertext.u_points):
+            k = k / self.group.pair(q_point, u_point)
+        k = k ** private
+        mask = self.group.mask_bytes(k, len(ciphertext.masked), tag=H2_TAG)
+        return xor_bytes(ciphertext.masked, mask)

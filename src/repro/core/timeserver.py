@@ -1,0 +1,208 @@
+"""The completely passive time server (paper §3).
+
+The server's entire job is:
+
+1. periodically output a *time-bound key update* ``I_T = s·H1(T)`` for
+   the current time string ``T`` (a BLS signature on ``T``), and
+2. keep an archive of old updates at a publicly accessible place so a
+   receiver who missed a broadcast can still look it up.
+
+It holds **no** per-user state, performs **no** interaction with senders
+or receivers, and need not pre-publish anything for future instants —
+footnote 4: it "can generate a key update for any particular instant
+directly using its private key".  The trust assumptions from §3 are
+enforced here operationally: the server refuses to *publish* an update
+whose time has not yet arrived on its clock (``issue_update`` exists
+separately to model a corrupt server in the tests).
+
+Time strings are arbitrary bytes, exactly as in the paper.  For epoch
+maths (key insulation, simulations) :func:`epoch_label` provides a
+canonical, lexicographically ordered label family.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.bls import BLSSignatureScheme
+from repro.core.keys import ServerKeyPair, ServerPublicKey
+from repro.ec.point import CurvePoint
+from repro.encoding import pack_chunks, unpack_chunks
+from repro.errors import (
+    EncodingError,
+    UpdateNotAvailableError,
+    UpdateVerificationError,
+)
+from repro.pairing.api import PairingGroup
+
+
+def epoch_label(epoch: int, prefix: str = "epoch") -> bytes:
+    """A canonical label for integer epochs, ordered lexicographically."""
+    if epoch < 0:
+        raise ValueError("epochs are non-negative")
+    return f"{prefix}:{epoch:012d}".encode()
+
+
+@dataclass(frozen=True)
+class TimeBoundKeyUpdate:
+    """``I_T = s·H1(T)`` — identical for all users, self-authenticating."""
+
+    time_label: bytes
+    point: CurvePoint
+
+    def verify(self, group: PairingGroup, server_public: ServerPublicKey) -> bool:
+        """Anyone can check ``ê(sG, H1(T)) == ê(G, I_T)`` (§5.1)."""
+        return BLSSignatureScheme(group).verify(
+            server_public, self.time_label, self.point
+        )
+
+    def ensure_valid(
+        self, group: PairingGroup, server_public: ServerPublicKey
+    ) -> None:
+        if not self.verify(group, server_public):
+            raise UpdateVerificationError(
+                f"update for {self.time_label!r} failed self-authentication"
+            )
+
+    def to_bytes(self, group: PairingGroup) -> bytes:
+        return pack_chunks(self.time_label, group.point_to_bytes(self.point))
+
+    @classmethod
+    def from_bytes(cls, group: PairingGroup, data: bytes) -> "TimeBoundKeyUpdate":
+        chunks = unpack_chunks(data)
+        if len(chunks) != 2:
+            raise EncodingError("update must have 2 components")
+        return cls(chunks[0], group.point_from_bytes(chunks[1]))
+
+
+class PassiveTimeServer:
+    """A trusted-but-passive time reference (the paper's GPS analogy).
+
+    Parameters
+    ----------
+    group:
+        The pairing group shared by everyone.
+    rng:
+        Randomness for key generation (only used at construction).
+    keypair:
+        Optionally supply an existing :class:`ServerKeyPair`.
+    clock:
+        Optional callable returning the current integer epoch.  When
+        given, :meth:`publish_update` enforces the §3 trust assumption
+        "do not give out any I_T before its release time" for labels
+        created by :func:`epoch_label`.
+    """
+
+    def __init__(
+        self,
+        group: PairingGroup,
+        rng: random.Random | None = None,
+        keypair: ServerKeyPair | None = None,
+        clock=None,
+    ):
+        if keypair is None:
+            if rng is None:
+                raise ValueError("need an rng or an existing keypair")
+            keypair = ServerKeyPair.generate(group, rng)
+        self.group = group
+        self._keypair = keypair
+        self._bls = BLSSignatureScheme(group)
+        self._clock = clock
+        # The public archive of past updates (§3: "keep a list of old key
+        # updates ... at a publicly accessible place").
+        self._archive: dict[bytes, TimeBoundKeyUpdate] = {}
+        self.updates_published = 0
+        self.bytes_broadcast = 0
+
+    @property
+    def public_key(self) -> ServerPublicKey:
+        return self._keypair.public
+
+    # ------------------------------------------------------------------
+    # Update generation.
+    # ------------------------------------------------------------------
+
+    def issue_update(self, time_label: bytes) -> TimeBoundKeyUpdate:
+        """Sign ``T`` directly from the private key (footnote 4).
+
+        This is the raw capability — no release-time policy.  Tests use
+        it to model a colluding/corrupt server; honest operation goes
+        through :meth:`publish_update`.
+        """
+        point = self._bls.sign(self._keypair, time_label)
+        return TimeBoundKeyUpdate(time_label, point)
+
+    def publish_update(self, time_label: bytes) -> TimeBoundKeyUpdate:
+        """Generate, archive and return the single broadcast for ``T``.
+
+        One update serves *every* receiver — the call is O(1) in the
+        number of users, which experiment E2 measures against the
+        per-user baselines.
+        """
+        self._enforce_release_policy(time_label)
+        if time_label in self._archive:
+            return self._archive[time_label]
+        update = self.issue_update(time_label)
+        self._archive[time_label] = update
+        self.updates_published += 1
+        self.bytes_broadcast += len(update.to_bytes(self.group))
+        return update
+
+    def _enforce_release_policy(self, time_label: bytes) -> None:
+        if self._clock is None:
+            return
+        try:
+            epoch = int(time_label.rsplit(b":", 1)[-1])
+        except ValueError:
+            return  # Free-form labels carry no enforceable ordering.
+        now = self._clock()
+        if epoch > now:
+            raise UpdateNotAvailableError(
+                f"refusing to publish update for epoch {epoch} at time {now}"
+            )
+
+    # ------------------------------------------------------------------
+    # The public archive.
+    # ------------------------------------------------------------------
+
+    def lookup(self, time_label: bytes) -> TimeBoundKeyUpdate:
+        """Fetch an old update whose release time has passed (§3)."""
+        try:
+            return self._archive[time_label]
+        except KeyError:
+            raise UpdateNotAvailableError(
+                f"no published update for {time_label!r}"
+            )
+
+    def archive_labels(self) -> list[bytes]:
+        return sorted(self._archive)
+
+    def __repr__(self) -> str:
+        return (
+            f"PassiveTimeServer(updates={self.updates_published}, "
+            f"archive={len(self._archive)})"
+        )
+
+
+def batch_verify_updates(
+    group: PairingGroup,
+    server_public,
+    updates: list[TimeBoundKeyUpdate],
+    rng,
+) -> bool:
+    """Verify many archived updates with two pairings total.
+
+    Small-exponent batch BLS verification (see
+    :meth:`repro.core.bls.BLSSignatureScheme.batch_verify`).  The
+    offline-catch-up companion to the §3 archive: a receiver that
+    missed ``n`` broadcasts authenticates the whole backlog at
+    essentially the cost of one.
+    """
+    bls = BLSSignatureScheme(group)
+    return bls.batch_verify(
+        server_public,
+        [update.time_label for update in updates],
+        [update.point for update in updates],
+        rng,
+    )

@@ -1,0 +1,233 @@
+"""Timelock encryption over a Type-3 pairing — the paper's modern descendant.
+
+The drand network runs, at scale, almost exactly the paper's §5.1
+architecture: a (threshold) beacon periodically publishes a BLS
+signature on the round number — a *time-bound key update*, identical
+for all users, self-authenticating, with the signers unaware of who
+consumes it — and "tlock" encrypts messages to a future round so that
+the round signature is the decryption key.  The differences are purely
+substrate: a Type-3 pairing (BN254 here; drand uses BLS12-381), round
+numbers instead of free-form time strings, and signatures in ``G1``
+with public keys in ``G2``.
+
+Two schemes:
+
+* :class:`TimelockEncryption` — tlock proper: identity-based on the
+  round number alone.  *Anyone* holding the round signature can
+  decrypt; this is the paper's ID-TRE stance (escrow towards the
+  beacon) that drand deliberately accepts.
+* :class:`Type3TimedRelease` — the paper's receiver-bound TRE
+  translated to Type-3: receiver key pair ``(a, (a·G1, a·pk))``; both
+  the private key and the round signature are needed, and the beacon
+  cannot read anything.  The §5.1 well-formedness check becomes
+  ``ê(a·G1, pk) == ê(G1, a·pk)``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.crypto.authenc import aead_decrypt, aead_encrypt
+from repro.ec.point import CurvePoint
+from repro.errors import (
+    KeyValidationError,
+    UpdateNotAvailableError,
+    UpdateVerificationError,
+)
+from repro.pairing.bn254 import BN254, bn254
+
+
+def round_label(round_number: int) -> bytes:
+    """drand-style identity for a round: its 8-byte big-endian encoding."""
+    return round_number.to_bytes(8, "big")
+
+
+@dataclass(frozen=True)
+class RoundSignature:
+    """``σ_r = s·H1(round)`` — the time-bound key update of round ``r``."""
+
+    round_number: int
+    point: CurvePoint  # in G1
+
+
+class DrandStyleBeacon:
+    """A passive, round-based randomness/time beacon.
+
+    The secret ``s`` would be threshold-shared in a real network
+    (:mod:`repro.core.threshold` demonstrates the sharing arithmetic);
+    one holder suffices for the cost model.
+    """
+
+    def __init__(self, engine: BN254, rng: random.Random, period_seconds: int = 30):
+        self.engine = engine
+        self._secret = engine.random_scalar(rng)
+        self.public_key = engine.g2 * self._secret  # in G2
+        self.period_seconds = period_seconds
+        self._published: dict[int, RoundSignature] = {}
+        self.latest_round = 0
+
+    def publish_round(self, round_number: int) -> RoundSignature:
+        """Emit (and archive) the signature for ``round_number``."""
+        if round_number in self._published:
+            return self._published[round_number]
+        h = self.engine.hash_to_g1(round_label(round_number))
+        signature = RoundSignature(round_number, h * self._secret)
+        self._published[round_number] = signature
+        self.latest_round = max(self.latest_round, round_number)
+        return signature
+
+    def lookup(self, round_number: int) -> RoundSignature:
+        try:
+            return self._published[round_number]
+        except KeyError:
+            raise UpdateNotAvailableError(
+                f"round {round_number} has not been published"
+            )
+
+    def verify(self, signature: RoundSignature) -> bool:
+        """``ê(σ, G2) == ê(H1(round), pk)`` — self-authentication."""
+        if signature.point.is_infinity:
+            return False
+        h = self.engine.hash_to_g1(round_label(signature.round_number))
+        left = self.engine.pair(signature.point, self.engine.g2)
+        right = self.engine.pair(h, self.public_key)
+        return left == right
+
+
+@dataclass(frozen=True)
+class TlockCiphertext:
+    """``⟨U ∈ G2, sealed⟩`` bound to a round number."""
+
+    round_number: int
+    u_point: CurvePoint
+    sealed: bytes
+
+
+class TimelockEncryption:
+    """tlock: encrypt to a future beacon round (identity = round number)."""
+
+    def __init__(self, engine: BN254 | None = None):
+        self.engine = engine or bn254()
+
+    def encrypt(
+        self,
+        message: bytes,
+        beacon_public: CurvePoint,
+        round_number: int,
+        rng: random.Random,
+    ) -> TlockCiphertext:
+        """``U = r·G2``; ``K = ê(H1(round), pk)^r``; AEAD under K."""
+        e = self.engine
+        r = e.random_scalar(rng)
+        u_point = e.g2 * r
+        h = e.hash_to_g1(round_label(round_number))
+        k = e.pair(h, beacon_public) ** r
+        key = e.mask_bytes(k, 32)
+        sealed = aead_encrypt(
+            key, b"tlock", message, associated_data=round_label(round_number)
+        )
+        return TlockCiphertext(round_number, u_point, sealed)
+
+    def decrypt(
+        self, ciphertext: TlockCiphertext, signature: RoundSignature
+    ) -> bytes:
+        """``K' = ê(σ, U)`` — anyone with the round signature can open."""
+        if signature.round_number != ciphertext.round_number:
+            raise UpdateVerificationError(
+                "signature is for a different round than the ciphertext"
+            )
+        e = self.engine
+        k = e.pair(signature.point, ciphertext.u_point)
+        key = e.mask_bytes(k, 32)
+        return aead_decrypt(
+            key,
+            b"tlock",
+            ciphertext.sealed,
+            associated_data=round_label(ciphertext.round_number),
+        )
+
+
+@dataclass(frozen=True)
+class Type3UserKeyPair:
+    """Receiver key for the Type-3 TRE: ``(a, (a·G1, a·pk))``."""
+
+    private: int
+    a_g1: CurvePoint
+    a_pk: CurvePoint  # a·s·G2, in G2
+
+    def verify_well_formed(self, engine: BN254, beacon_public: CurvePoint) -> bool:
+        """The §5.1 step-1 check in Type-3 form:
+        ``ê(a·G1, pk) == ê(G1, a·pk)``."""
+        left = engine.pair(self.a_g1, beacon_public)
+        right = engine.pair(engine.g1, self.a_pk)
+        return left == right
+
+
+class Type3TimedRelease:
+    """The paper's receiver-bound TRE on the asymmetric pairing."""
+
+    def __init__(self, engine: BN254 | None = None):
+        self.engine = engine or bn254()
+
+    def generate_user_keypair(
+        self, beacon_public: CurvePoint, rng: random.Random
+    ) -> Type3UserKeyPair:
+        a = self.engine.random_scalar(rng)
+        return Type3UserKeyPair(a, self.engine.g1 * a, beacon_public * a)
+
+    def encrypt(
+        self,
+        message: bytes,
+        receiver: Type3UserKeyPair | tuple,
+        beacon_public: CurvePoint,
+        round_number: int,
+        rng: random.Random,
+        verify_receiver_key: bool = True,
+    ) -> TlockCiphertext:
+        """``K = ê(H1(round), a·pk)^r``, ``U = r·G2``."""
+        e = self.engine
+        if isinstance(receiver, Type3UserKeyPair):
+            a_g1, a_pk = receiver.a_g1, receiver.a_pk
+        else:
+            a_g1, a_pk = receiver
+        if verify_receiver_key:
+            left = e.pair(a_g1, beacon_public)
+            right = e.pair(e.g1, a_pk)
+            if left != right:
+                raise KeyValidationError(
+                    "receiver public key is not of the form (a*G1, a*pk)"
+                )
+        r = e.random_scalar(rng)
+        u_point = e.g2 * r
+        h = e.hash_to_g1(round_label(round_number))
+        k = e.pair(h, a_pk) ** r
+        key = e.mask_bytes(k, 32)
+        sealed = aead_encrypt(
+            key, b"t3tre", message, associated_data=round_label(round_number)
+        )
+        return TlockCiphertext(round_number, u_point, sealed)
+
+    def decrypt(
+        self,
+        ciphertext: TlockCiphertext,
+        receiver: Type3UserKeyPair | int,
+        signature: RoundSignature,
+    ) -> bytes:
+        """``K' = ê(σ, U)^a`` — needs both ``a`` and the round signature."""
+        if signature.round_number != ciphertext.round_number:
+            raise UpdateVerificationError(
+                "signature is for a different round than the ciphertext"
+            )
+        private = (
+            receiver.private if isinstance(receiver, Type3UserKeyPair) else receiver
+        )
+        e = self.engine
+        k = e.pair(signature.point, ciphertext.u_point) ** private
+        key = e.mask_bytes(k, 32)
+        return aead_decrypt(
+            key,
+            b"t3tre",
+            ciphertext.sealed,
+            associated_data=round_label(ciphertext.round_number),
+        )

@@ -1,0 +1,191 @@
+"""The TRE scheme — the paper's primary contribution (§5.1).
+
+Encryption of ``M`` for receiver ``(aG, asG)`` under server ``(G, sG)``
+with release time ``T``:
+
+1. check the receiver key is well-formed: ``ê(aG, sG) == ê(G, asG)``;
+2. pick ``r ∈ Z_q^*``, compute ``U = rG`` and ``r·asG``;
+3. ``K = ê(r·asG, H1(T)) = ê(G, H1(T))^{ras}``;
+4. ciphertext ``C = ⟨U, M ⊕ H2(K)⟩``.
+
+Decryption with private key ``a`` and update ``I_T = s·H1(T)``:
+``K' = ê(U, I_T)^a``, then ``M = V ⊕ H2(K')``.
+
+Decryption therefore requires *both* the receiver's secret and the
+server's broadcast — neither alone suffices (tested in
+``tests/core/test_tre_security.py``).  As in the paper, this base scheme
+is one-way/CPA-secure; apply :mod:`repro.core.fujisaki_okamoto` or
+:mod:`repro.core.react` for chosen-ciphertext security, and
+:mod:`repro.core.hybrid_tre` for long messages.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.keys import ServerPublicKey, UserKeyPair, UserPublicKey
+from repro.core.timeserver import TimeBoundKeyUpdate
+from repro.ec.point import CurvePoint
+from repro.encoding import pack_chunks, unpack_chunks, xor_bytes
+from repro.errors import EncodingError, UpdateVerificationError
+from repro.pairing.api import GTElement, PairingGroup
+
+H1_TAG = "repro:H1"
+H2_TAG = "repro:H2"
+
+
+@dataclass(frozen=True)
+class TRECiphertext:
+    """``C = ⟨U, V⟩`` plus the (public) release-time label.
+
+    The paper transmits ``T`` alongside the ciphertext so the receiver
+    knows which update to wait for; it is not secret from the receiver,
+    and the *server* never sees it.
+    """
+
+    u_point: CurvePoint
+    masked: bytes
+    time_label: bytes
+
+    def to_bytes(self, group: PairingGroup) -> bytes:
+        return pack_chunks(
+            group.point_to_bytes(self.u_point), self.masked, self.time_label
+        )
+
+    @classmethod
+    def from_bytes(cls, group: PairingGroup, data: bytes) -> "TRECiphertext":
+        chunks = unpack_chunks(data)
+        if len(chunks) != 3:
+            raise EncodingError("TRE ciphertext must have 3 components")
+        return cls(group.point_from_bytes(chunks[0]), chunks[1], chunks[2])
+
+    def size_bytes(self, group: PairingGroup) -> int:
+        return len(self.to_bytes(group))
+
+
+class TimedReleaseScheme:
+    """The server-passive, user-anonymous timed release encryption scheme."""
+
+    def __init__(self, group: PairingGroup):
+        self.group = group
+
+    # ------------------------------------------------------------------
+    # Key generation (delegates to repro.core.keys, kept here so the
+    # scheme object exposes the paper's full interface).
+    # ------------------------------------------------------------------
+
+    def generate_user_keypair(
+        self, server_public: ServerPublicKey, rng: random.Random
+    ) -> UserKeyPair:
+        return UserKeyPair.generate(self.group, server_public, rng)
+
+    # ------------------------------------------------------------------
+    # The pairing-derived shared secret (KEM core).
+    # ------------------------------------------------------------------
+
+    def _sender_key(
+        self,
+        receiver_public: UserPublicKey,
+        time_label: bytes,
+        r: int,
+    ) -> GTElement:
+        """``K = ê(r·asG, H1(T))`` — computed by the sender."""
+        r_as_g = self.group.mul(receiver_public.as_generator, r)
+        h_t = self.group.hash_to_g1(time_label, tag=H1_TAG)
+        return self.group.pair(r_as_g, h_t)
+
+    def _receiver_key(
+        self,
+        u_point: CurvePoint,
+        private: int,
+        update: TimeBoundKeyUpdate,
+    ) -> GTElement:
+        """``K' = ê(U, I_T)^a`` — computed by the receiver."""
+        return self.group.pair(u_point, update.point) ** private
+
+    # ------------------------------------------------------------------
+    # Encryption / decryption (§5.1 verbatim).
+    # ------------------------------------------------------------------
+
+    def encrypt(
+        self,
+        message: bytes,
+        receiver_public: UserPublicKey,
+        server_public: ServerPublicKey,
+        time_label: bytes,
+        rng: random.Random,
+        verify_receiver_key: bool = True,
+    ) -> TRECiphertext:
+        """Encrypt ``message`` so it opens at/after ``time_label``.
+
+        ``verify_receiver_key=False`` skips the step-1 pairing check for
+        callers who have already validated (or certified) the key; the
+        check costs two pairings, which E1 accounts separately.
+        """
+        if verify_receiver_key:
+            receiver_public.ensure_well_formed(self.group, server_public)
+        r = self.group.random_scalar(rng)
+        u_point = self.group.mul(server_public.generator, r)
+        k = self._sender_key(receiver_public, time_label, r)
+        mask = self.group.mask_bytes(k, len(message), tag=H2_TAG)
+        return TRECiphertext(u_point, xor_bytes(message, mask), time_label)
+
+    def decrypt(
+        self,
+        ciphertext: TRECiphertext,
+        receiver: UserKeyPair | int,
+        update: TimeBoundKeyUpdate,
+        server_public: ServerPublicKey | None = None,
+    ) -> bytes:
+        """Decrypt with the receiver's secret and the matching update.
+
+        When ``server_public`` is given, the update is first
+        self-authenticated (``ê(sG, H1(T)) == ê(G, I_T)``) and its label
+        checked against the ciphertext — catching a wrong-epoch or forged
+        update *before* producing garbage plaintext.  Without it, the
+        method is the paper's bare two-step decryption.
+        """
+        private = receiver.private if isinstance(receiver, UserKeyPair) else receiver
+        if server_public is not None:
+            if update.time_label != ciphertext.time_label:
+                raise UpdateVerificationError(
+                    "update is for a different release time than the ciphertext"
+                )
+            update.ensure_valid(self.group, server_public)
+        k = self._receiver_key(ciphertext.u_point, private, update)
+        mask = self.group.mask_bytes(k, len(ciphertext.masked), tag=H2_TAG)
+        return xor_bytes(ciphertext.masked, mask)
+
+    # ------------------------------------------------------------------
+    # KEM view (used by the hybrid and CCA layers).
+    # ------------------------------------------------------------------
+
+    def encapsulate(
+        self,
+        receiver_public: UserPublicKey,
+        server_public: ServerPublicKey,
+        time_label: bytes,
+        rng: random.Random,
+        key_bytes: int = 32,
+        verify_receiver_key: bool = True,
+    ) -> tuple[bytes, CurvePoint]:
+        """Produce ``(shared_key, U)``; the receiver recovers the key
+        from ``U`` with :meth:`decapsulate` once the update is out."""
+        if verify_receiver_key:
+            receiver_public.ensure_well_formed(self.group, server_public)
+        r = self.group.random_scalar(rng)
+        u_point = self.group.mul(server_public.generator, r)
+        k = self._sender_key(receiver_public, time_label, r)
+        return self.group.mask_bytes(k, key_bytes, tag=H2_TAG), u_point
+
+    def decapsulate(
+        self,
+        u_point: CurvePoint,
+        receiver: UserKeyPair | int,
+        update: TimeBoundKeyUpdate,
+        key_bytes: int = 32,
+    ) -> bytes:
+        private = receiver.private if isinstance(receiver, UserKeyPair) else receiver
+        k = self._receiver_key(u_point, private, update)
+        return self.group.mask_bytes(k, key_bytes, tag=H2_TAG)

@@ -1,0 +1,23 @@
+"""Symmetric building blocks: KDF, stream cipher, MAC, authenticated encryption.
+
+Everything here is built on the standard library's SHA-256/SHA-512 and
+``hmac`` — no third-party crypto dependency, in keeping with the
+from-scratch mandate.  These primitives carry the data-plane work: the
+pairing schemes in :mod:`repro.core` establish short keys and the
+encrypt-then-MAC DEM here protects arbitrary-length payloads.
+"""
+
+from repro.crypto.kdf import derive_key
+from repro.crypto.stream import keystream, stream_xor
+from repro.crypto.mac import compute_mac, verify_mac
+from repro.crypto.authenc import aead_decrypt, aead_encrypt
+
+__all__ = [
+    "derive_key",
+    "keystream",
+    "stream_xor",
+    "compute_mac",
+    "verify_mac",
+    "aead_encrypt",
+    "aead_decrypt",
+]

@@ -1,0 +1,45 @@
+"""Encrypt-then-MAC authenticated encryption (the hybrid DEM).
+
+The key establishment side (TRE, ID-TRE, multi-server, ...) produces a
+short shared secret; this module turns that secret into confidentiality
+*and* integrity for arbitrary-length messages:
+
+1. derive independent cipher and MAC subkeys from the secret,
+2. encrypt with the SHA-256-CTR stream cipher under a caller nonce,
+3. MAC ``nonce || associated_data || ciphertext``.
+
+Decryption verifies the tag before releasing any plaintext.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.kdf import derive_subkeys
+from repro.crypto.mac import MAC_BYTES, compute_mac, verify_mac
+from repro.crypto.stream import stream_xor
+from repro.errors import DecryptionError
+
+_ENC_LABEL = "repro:aead:enc"
+_MAC_LABEL = "repro:aead:mac"
+
+
+def aead_encrypt(
+    secret: bytes, nonce: bytes, plaintext: bytes, associated_data: bytes = b""
+) -> bytes:
+    """Return ``ciphertext || tag`` for ``plaintext`` under ``secret``."""
+    enc_key, mac_key = derive_subkeys(secret, _ENC_LABEL, _MAC_LABEL)
+    ciphertext = stream_xor(enc_key, nonce, plaintext)
+    tag = compute_mac(mac_key, nonce, associated_data, ciphertext)
+    return ciphertext + tag
+
+
+def aead_decrypt(
+    secret: bytes, nonce: bytes, sealed: bytes, associated_data: bytes = b""
+) -> bytes:
+    """Verify and open ``ciphertext || tag``; raises :class:`DecryptionError`."""
+    if len(sealed) < MAC_BYTES:
+        raise DecryptionError("sealed blob shorter than its MAC tag")
+    ciphertext, tag = sealed[:-MAC_BYTES], sealed[-MAC_BYTES:]
+    enc_key, mac_key = derive_subkeys(secret, _ENC_LABEL, _MAC_LABEL)
+    if not verify_mac(mac_key, tag, nonce, associated_data, ciphertext):
+        raise DecryptionError("authentication tag mismatch")
+    return stream_xor(enc_key, nonce, ciphertext)

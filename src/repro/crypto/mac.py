@@ -1,0 +1,22 @@
+"""HMAC-SHA256 message authentication with constant-time verification."""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+MAC_BYTES = 32
+
+
+def compute_mac(key: bytes, *parts: bytes) -> bytes:
+    """HMAC-SHA256 over length-framed parts (unambiguous concatenation)."""
+    mac = hmac.new(key, digestmod=hashlib.sha256)
+    for part in parts:
+        mac.update(len(part).to_bytes(8, "big"))
+        mac.update(part)
+    return mac.digest()
+
+
+def verify_mac(key: bytes, tag: bytes, *parts: bytes) -> bool:
+    """Constant-time check of ``tag`` against the recomputed MAC."""
+    return hmac.compare_digest(tag, compute_mac(key, *parts))

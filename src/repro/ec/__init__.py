@@ -1,0 +1,6 @@
+"""Elliptic curve substrate: short Weierstrass curves over Fp and Fp2."""
+
+from repro.ec.curve import EllipticCurve
+from repro.ec.point import CurvePoint
+
+__all__ = ["EllipticCurve", "CurvePoint"]

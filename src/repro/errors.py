@@ -1,0 +1,64 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by this library derives from :class:`ReproError`, so a
+caller can catch the whole family with a single ``except`` clause while the
+library itself raises the most specific subclass available.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class ParameterError(ReproError):
+    """A parameter set, curve, or group was configured inconsistently."""
+
+
+class NotOnCurveError(ReproError):
+    """Coordinates handed to a curve do not satisfy its equation."""
+
+
+class NotInSubgroupError(ReproError):
+    """A point is on the curve but outside the prime-order subgroup."""
+
+
+class FieldMismatchError(ReproError):
+    """Two field elements from different fields were combined."""
+
+
+class GroupMismatchError(ReproError):
+    """Two group elements (or a key and a group) disagree on parameters."""
+
+
+class EncodingError(ReproError):
+    """A byte string could not be decoded into the expected object."""
+
+
+class KeyValidationError(ReproError):
+    """A public key failed its well-formedness check (Encrypt step 1)."""
+
+
+class DecryptionError(ReproError):
+    """Authenticated decryption failed (wrong key, wrong update, or tamper)."""
+
+
+class UpdateVerificationError(ReproError):
+    """A time-bound key update failed its self-authentication check."""
+
+
+class UpdateNotAvailableError(ReproError):
+    """The time server was asked for an update whose time has not passed."""
+
+
+class PolicyError(ReproError):
+    """A policy-lock condition set was malformed or unsatisfied."""
+
+
+class ProtocolError(ReproError):
+    """An interactive protocol (e.g. the COT baseline) was misused."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was driven into an invalid state."""

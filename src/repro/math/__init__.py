@@ -1,0 +1,18 @@
+"""Number-theoretic and finite-field substrate.
+
+This package provides everything the elliptic-curve and pairing layers
+need: modular arithmetic (:mod:`repro.math.modular`), primality testing and
+prime generation (:mod:`repro.math.primes`), the prime field ``Fp``
+(:mod:`repro.math.field`) and its quadratic extension ``Fp2``
+(:mod:`repro.math.quadratic`).
+"""
+
+from repro.math.field import PrimeField, FieldElement
+from repro.math.quadratic import QuadraticField, QuadraticElement
+
+__all__ = [
+    "PrimeField",
+    "FieldElement",
+    "QuadraticField",
+    "QuadraticElement",
+]

@@ -1,0 +1,240 @@
+"""The quadratic extension ``Fp2 = Fp[u] / (u^2 - beta)``.
+
+``beta`` must be a quadratic non-residue of ``Fp``.  The two supersingular
+curve families use ``beta = -1`` (family A, so ``u = i``) and ``beta = -3``
+(family B, where the primitive cube root of unity is ``(-1 + u) / 2``).
+
+The Frobenius map ``x -> x^p`` acts as conjugation (``a + b*u -> a - b*u``)
+because ``u^p = u * (u^2)^((p-1)/2) = -u`` for non-residue ``beta``.  The
+pairing's final exponentiation exploits this: ``f^(p-1) = conj(f) / f``.
+"""
+
+from __future__ import annotations
+
+from repro.encoding import int_from_bytes, int_to_bytes
+from repro.errors import EncodingError, FieldMismatchError, ParameterError
+from repro.math.field import PrimeField
+from repro.math.modular import inverse_mod, is_quadratic_residue
+
+
+class QuadraticField:
+    """``Fp[u]/(u^2 - beta)`` for a quadratic non-residue ``beta``."""
+
+    __slots__ = ("base", "p", "beta", "element_bytes")
+
+    def __init__(self, base: PrimeField, beta: int):
+        beta %= base.p
+        if is_quadratic_residue(beta, base.p):
+            raise ParameterError("beta must be a quadratic non-residue")
+        self.base = base
+        self.p = base.p
+        self.beta = beta
+        self.element_bytes = 2 * base.element_bytes
+
+    def __call__(self, a: int, b: int = 0) -> "QuadraticElement":
+        return QuadraticElement(self, a % self.p, b % self.p)
+
+    def zero(self) -> "QuadraticElement":
+        return QuadraticElement(self, 0, 0)
+
+    def one(self) -> "QuadraticElement":
+        return QuadraticElement(self, 1, 0)
+
+    def u(self) -> "QuadraticElement":
+        """The adjoined square root of ``beta``."""
+        return QuadraticElement(self, 0, 1)
+
+    def from_base(self, value) -> "QuadraticElement":
+        """Embed an ``Fp`` element (or int) into ``Fp2``."""
+        if hasattr(value, "value"):
+            value = value.value
+        return QuadraticElement(self, value % self.p, 0)
+
+    def from_bytes(self, data: bytes) -> "QuadraticElement":
+        half = self.base.element_bytes
+        if len(data) != 2 * half:
+            raise EncodingError(f"expected {2 * half} bytes, got {len(data)}")
+        a = int_from_bytes(data[:half])
+        b = int_from_bytes(data[half:])
+        if a >= self.p or b >= self.p:
+            raise EncodingError("encoded coefficient exceeds field modulus")
+        return QuadraticElement(self, a, b)
+
+    def random(self, rng) -> "QuadraticElement":
+        return QuadraticElement(self, rng.randrange(self.p), rng.randrange(self.p))
+
+    def order(self) -> int:
+        """The number of elements, ``p^2``."""
+        return self.p * self.p
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, QuadraticField)
+            and other.p == self.p
+            and other.beta == self.beta
+        )
+
+    def __hash__(self) -> int:
+        return hash(("QuadraticField", self.p, self.beta))
+
+    def __repr__(self) -> str:
+        return f"QuadraticField(p~2^{self.p.bit_length()}, beta={self.beta - self.p})"
+
+
+class QuadraticElement:
+    """``a + b*u`` with ``u^2 = beta``; immutable and hashable."""
+
+    __slots__ = ("field", "a", "b")
+
+    def __init__(self, field: QuadraticField, a: int, b: int):
+        self.field = field
+        self.a = a
+        self.b = b
+
+    def _coerce(self, other) -> "QuadraticElement":
+        if isinstance(other, QuadraticElement):
+            if other.field != self.field:
+                raise FieldMismatchError("elements belong to different Fp2 fields")
+            return other
+        if isinstance(other, int):
+            return QuadraticElement(self.field, other % self.field.p, 0)
+        if hasattr(other, "value") and hasattr(other, "field"):
+            # An Fp element over the same prime.
+            if other.field.p != self.field.p:
+                raise FieldMismatchError("base field modulus mismatch")
+            return QuadraticElement(self.field, other.value, 0)
+        return NotImplemented
+
+    def __add__(self, other) -> "QuadraticElement":
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        p = self.field.p
+        return QuadraticElement(
+            self.field, (self.a + other.a) % p, (self.b + other.b) % p
+        )
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "QuadraticElement":
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        p = self.field.p
+        return QuadraticElement(
+            self.field, (self.a - other.a) % p, (self.b - other.b) % p
+        )
+
+    def __rsub__(self, other) -> "QuadraticElement":
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return other - self
+
+    def __mul__(self, other) -> "QuadraticElement":
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        p = self.field.p
+        beta = self.field.beta
+        # (a + bu)(c + du) = (ac + beta*bd) + (ad + bc)u
+        ac = self.a * other.a
+        bd = self.b * other.b
+        cross = (self.a + self.b) * (other.a + other.b) - ac - bd
+        return QuadraticElement(self.field, (ac + beta * bd) % p, cross % p)
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "QuadraticElement":
+        p = self.field.p
+        return QuadraticElement(self.field, -self.a % p, -self.b % p)
+
+    def __truediv__(self, other) -> "QuadraticElement":
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return self * other.inverse()
+
+    def __rtruediv__(self, other) -> "QuadraticElement":
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return other * self.inverse()
+
+    def __pow__(self, exponent: int) -> "QuadraticElement":
+        if exponent < 0:
+            return self.inverse() ** (-exponent)
+        result = self.field.one()
+        base = self
+        while exponent:
+            if exponent & 1:
+                result = result * base
+            base = base.square()
+            exponent >>= 1
+        return result
+
+    def square(self) -> "QuadraticElement":
+        p = self.field.p
+        beta = self.field.beta
+        # (a + bu)^2 = (a^2 + beta*b^2) + 2ab*u
+        a2 = self.a * self.a
+        b2 = self.b * self.b
+        return QuadraticElement(
+            self.field, (a2 + beta * b2) % p, 2 * self.a * self.b % p
+        )
+
+    def norm(self) -> int:
+        """The norm ``a^2 - beta*b^2``, an element of ``Fp`` (as int)."""
+        p = self.field.p
+        return (self.a * self.a - self.field.beta * self.b * self.b) % p
+
+    def inverse(self) -> "QuadraticElement":
+        p = self.field.p
+        norm = self.norm()
+        if norm == 0:
+            raise ParameterError("zero has no inverse in Fp2")
+        inv_norm = inverse_mod(norm, p)
+        return QuadraticElement(
+            self.field, self.a * inv_norm % p, -self.b * inv_norm % p
+        )
+
+    def conjugate(self) -> "QuadraticElement":
+        """``a - b*u``, which equals the Frobenius ``self ** p``."""
+        return QuadraticElement(self.field, self.a, -self.b % self.field.p)
+
+    def unitary_inverse(self) -> "QuadraticElement":
+        """Inverse assuming ``norm == 1`` (holds after final exponentiation).
+
+        For unitary elements the conjugate *is* the inverse, which makes
+        GT-exponentiation with negative digits cheap.
+        """
+        return self.conjugate()
+
+    def is_zero(self) -> bool:
+        return self.a == 0 and self.b == 0
+
+    def is_one(self) -> bool:
+        return self.a == 1 and self.b == 0
+
+    def in_base_field(self) -> bool:
+        return self.b == 0
+
+    def to_bytes(self) -> bytes:
+        half = self.field.base.element_bytes
+        return int_to_bytes(self.a, half) + int_to_bytes(self.b, half)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, int):
+            return self.b == 0 and self.a == other % self.field.p
+        return (
+            isinstance(other, QuadraticElement)
+            and other.field == self.field
+            and other.a == self.a
+            and other.b == self.b
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.field.p, self.field.beta, self.a, self.b))
+
+    def __repr__(self) -> str:
+        return f"Fp2({self.a} + {self.b}u)"

@@ -1,0 +1,248 @@
+"""The public pairing-group facade used by every scheme in the library.
+
+A :class:`PairingGroup` bundles a supersingular curve family, its Tate
+pairing engine, the hash maps, serialization, and an operation counter
+behind one object with the exact algebraic interface of the paper's §4:
+
+* ``G1`` — the additive order-``q`` subgroup of ``E(Fp)`` (curve points);
+* ``G2`` (called GT here to avoid clashing with Type-3 terminology) —
+  the multiplicative order-``q`` subgroup of ``Fp2*``, wrapped in
+  :class:`GTElement`;
+* ``ê = group.pair`` — bilinear, non-degenerate, efficiently computable.
+
+Example::
+
+    group = PairingGroup("toy64")
+    s = group.random_scalar(rng)
+    left = group.pair(group.mul(group.generator, s), group.generator)
+    right = group.pair(group.generator, group.generator) ** s
+    assert left == right
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.ec.point import CurvePoint
+from repro.errors import GroupMismatchError, ParameterError
+from repro.math.quadratic import QuadraticElement
+from repro.pairing import hashing
+from repro.pairing.opcount import (
+    GT_EXP,
+    GT_MUL,
+    HASH_TO_GROUP,
+    PAIRING,
+    POINT_ADD,
+    SCALAR_MULT,
+    OperationCounter,
+)
+from repro.pairing.params import ParameterSet, get_parameter_set
+from repro.pairing.supersingular import FAMILY_A, SupersingularCurve
+from repro.pairing.tate import TatePairing, unitary_pow
+
+
+class GTElement:
+    """An element of the order-``q`` target group, always unitary."""
+
+    __slots__ = ("group", "value")
+
+    def __init__(self, group: "PairingGroup", value: QuadraticElement):
+        self.group = group
+        self.value = value
+
+    def _check(self, other: "GTElement") -> None:
+        if not isinstance(other, GTElement) or other.group is not self.group:
+            raise GroupMismatchError("GT elements from different groups")
+
+    def __mul__(self, other: "GTElement") -> "GTElement":
+        self._check(other)
+        self.group.counters.record(GT_MUL)
+        return GTElement(self.group, self.value * other.value)
+
+    def __truediv__(self, other: "GTElement") -> "GTElement":
+        self._check(other)
+        self.group.counters.record(GT_MUL)
+        return GTElement(self.group, self.value * other.value.conjugate())
+
+    def __pow__(self, exponent: int) -> "GTElement":
+        self.group.counters.record(GT_EXP)
+        return GTElement(
+            self.group, unitary_pow(self.value, exponent % self.group.q)
+        )
+
+    def inverse(self) -> "GTElement":
+        # Unitary: the conjugate is the inverse.
+        return GTElement(self.group, self.value.conjugate())
+
+    def is_identity(self) -> bool:
+        return self.value.is_one()
+
+    def to_bytes(self) -> bytes:
+        return self.value.to_bytes()
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, GTElement)
+            and other.group is self.group
+            and other.value == self.value
+        )
+
+    def __hash__(self) -> int:
+        return hash(("GT", self.value))
+
+    def __repr__(self) -> str:
+        return f"GTElement({self.value!r})"
+
+
+class PairingGroup:
+    """A symmetric pairing group ``ê : G1 × G1 → GT`` with hashing.
+
+    Parameters
+    ----------
+    params:
+        A parameter-set name (``"toy64"``, ``"ss512"``, ...) or a
+        :class:`~repro.pairing.params.ParameterSet`.
+    family:
+        Supersingular family, ``"A"`` (default; denominator-free Miller
+        loop) or ``"B"`` (deterministic MapToPoint, general Miller loop).
+    """
+
+    def __init__(self, params="ss512", family: str = FAMILY_A):
+        if isinstance(params, str):
+            params = get_parameter_set(params)
+        if not isinstance(params, ParameterSet):
+            raise ParameterError("params must be a name or ParameterSet")
+        self.params = params
+        self.family = family
+        self.ssc = SupersingularCurve(params, family)
+        self.tate = TatePairing(self.ssc)
+        self.counters = OperationCounter()
+        self.q = params.q
+        self.generator = self.ssc.generator
+        self.point_bytes = 1 + 2 * self.ssc.fp.element_bytes
+        self.gt_bytes = 2 * self.ssc.fp.element_bytes
+        self.scalar_bytes = (self.q.bit_length() + 7) // 8
+
+    # ------------------------------------------------------------------
+    # Scalars.
+    # ------------------------------------------------------------------
+
+    def random_scalar(self, rng: random.Random) -> int:
+        """A uniform element of ``Z_q^*``."""
+        return rng.randrange(1, self.q)
+
+    def hash_to_scalar(self, *parts: bytes, tag: str = "repro:Zq") -> int:
+        return hashing.hash_to_scalar(self.q, *parts, tag=tag)
+
+    # ------------------------------------------------------------------
+    # G1 operations (counted).
+    # ------------------------------------------------------------------
+
+    def identity(self) -> CurvePoint:
+        return self.ssc.curve.infinity()
+
+    def mul(self, point: CurvePoint, scalar: int) -> CurvePoint:
+        self.counters.record(SCALAR_MULT)
+        return point * (scalar % self.q)
+
+    def add(self, left: CurvePoint, right: CurvePoint) -> CurvePoint:
+        self.counters.record(POINT_ADD)
+        return left + right
+
+    def negate(self, point: CurvePoint) -> CurvePoint:
+        return -point
+
+    def hash_to_g1(self, data: bytes, tag: str = "repro:H1") -> CurvePoint:
+        """The paper's ``H1 : {0,1}* → G1`` random oracle."""
+        self.counters.record(HASH_TO_GROUP)
+        return hashing.hash_to_subgroup(self.ssc, data, tag)
+
+    def random_point(self, rng: random.Random) -> CurvePoint:
+        """A uniform element of the order-``q`` subgroup."""
+        return self.mul(self.generator, self.random_scalar(rng))
+
+    def in_group(self, point: CurvePoint) -> bool:
+        return self.ssc.in_subgroup(point)
+
+    def point_to_bytes(self, point: CurvePoint) -> bytes:
+        encoded = point.to_bytes()
+        if len(encoded) == 1:
+            # Pad the infinity encoding to the fixed width so all G1
+            # serializations have equal length.
+            return encoded.ljust(self.point_bytes, b"\x00")
+        return encoded
+
+    def point_from_bytes(self, data: bytes) -> CurvePoint:
+        if data[:1] == b"\x00":
+            return self.identity()
+        point = self.ssc.curve.point_from_bytes(data)
+        self.ssc.ensure_in_subgroup(point)
+        return point
+
+    # ------------------------------------------------------------------
+    # Compressed encoding: x plus one parity bit, ~half the bytes.
+    # Useful when broadcast size matters (the time-bound key update is
+    # exactly one point); decompression costs one square root.
+    # ------------------------------------------------------------------
+
+    @property
+    def compressed_point_bytes(self) -> int:
+        return 1 + self.ssc.fp.element_bytes
+
+    def point_to_bytes_compressed(self, point: CurvePoint) -> bytes:
+        """``prefix || x`` with the y-parity in the prefix (02/03)."""
+        if point.is_infinity:
+            return b"\x00".ljust(self.compressed_point_bytes, b"\x00")
+        prefix = 0x02 | (point.y.value & 1)
+        return bytes([prefix]) + point.x.to_bytes()
+
+    def point_from_bytes_compressed(self, data: bytes) -> CurvePoint:
+        from repro.errors import EncodingError
+
+        if len(data) != self.compressed_point_bytes:
+            raise EncodingError(
+                f"expected {self.compressed_point_bytes} compressed bytes, "
+                f"got {len(data)}"
+            )
+        if data[0] == 0x00:
+            if any(data[1:]):
+                raise EncodingError("bad infinity encoding")
+            return self.identity()
+        if data[0] not in (0x02, 0x03):
+            raise EncodingError("bad compressed-point prefix")
+        x = self.ssc.fp.from_bytes(data[1:])
+        point = self.ssc.curve.point_from_x(x, y_parity=data[0] & 1)
+        self.ssc.ensure_in_subgroup(point)
+        return point
+
+    # ------------------------------------------------------------------
+    # Pairing and GT.
+    # ------------------------------------------------------------------
+
+    def pair(self, p_point: CurvePoint, q_point: CurvePoint) -> GTElement:
+        """The symmetric bilinear map ``ê(P, Q)``."""
+        self.counters.record(PAIRING)
+        return GTElement(self, self.tate.pair(p_point, q_point))
+
+    def gt_identity(self) -> GTElement:
+        return GTElement(self, self.ssc.fp2.one())
+
+    def gt_from_bytes(self, data: bytes) -> GTElement:
+        return GTElement(self, self.ssc.fp2.from_bytes(data))
+
+    def mask_bytes(self, gt: GTElement, length: int, tag: str = "repro:H2") -> bytes:
+        """The paper's ``H2 : G2 → {0,1}^n`` mask-derivation oracle."""
+        return hashing.hash_gt_to_bytes(gt.value, length, tag)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, PairingGroup)
+            and other.params == self.params
+            and other.family == self.family
+        )
+
+    def __hash__(self) -> int:
+        return hash(("PairingGroup", self.params.name, self.family))
+
+    def __repr__(self) -> str:
+        return f"PairingGroup({self.params.name!r}, family={self.family!r})"

@@ -1,0 +1,135 @@
+"""Miller's algorithm for evaluating ``f_{q,P}`` at extension-field points.
+
+Two variants are provided:
+
+* :func:`miller_loop_denominator_free` — the BKLS/GHS-optimized loop that
+  drops every vertical-line factor.  Correct whenever those factors land
+  in a proper subfield killed by the final exponentiation, which holds
+  for family A (distorted x-coordinates stay in ``Fp``).
+
+* :func:`miller_loop_general` — the textbook loop evaluating ``f_{q,P}``
+  at the divisor ``(S + R) - (R)`` for an auxiliary point ``R``, keeping
+  numerator and denominator separate (one ``Fp2`` inversion at the end).
+  Correct for any supersingular family, and the only correct choice for
+  family B.  This is the "slow but general" arm of the E12 ablation.
+
+Throughout, ``P`` and the intermediate points ``V`` live on ``E(Fp)``
+(affine coordinates, slopes in ``Fp``) while the evaluation points live
+on ``E(Fp2)``; mixed-field line evaluation embeds the ``Fp`` slope via
+``QuadraticElement``'s integer coercion.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParameterError
+from repro.ec.point import CurvePoint
+from repro.math.quadratic import QuadraticElement, QuadraticField
+
+
+def _line_value(v: CurvePoint, w: CurvePoint, s_x, s_y, fp2: QuadraticField):
+    """Evaluate at ``(s_x, s_y)`` the line through base-field points V, W.
+
+    Returns the chord/tangent value ``(s_y - y_V) - lambda * (s_x - x_V)``,
+    or the vertical value ``s_x - x_V`` when the line through V and W is
+    vertical (``W == -V`` or a 2-torsion doubling).
+    """
+    if v.is_infinity or w.is_infinity:
+        # Line "through infinity" contributes the constant 1.
+        return fp2.one()
+    if v.x == w.x and v.y != w.y:
+        return s_x - fp2.from_base(v.x)
+    if v.x == w.x:
+        # Tangent at V.
+        if v.y.is_zero():
+            return s_x - fp2.from_base(v.x)
+        slope = (v.x.square() * 3 + v.curve.a) / (v.y * 2)
+    else:
+        slope = (w.y - v.y) / (w.x - v.x)
+    return (s_y - fp2.from_base(v.y)) - (s_x - fp2.from_base(v.x)) * slope.value
+
+
+def _vertical_value(v: CurvePoint, s_x, fp2: QuadraticField):
+    """Evaluate the vertical line through V at x-coordinate ``s_x``."""
+    if v.is_infinity:
+        return fp2.one()
+    return s_x - fp2.from_base(v.x)
+
+
+def miller_loop_denominator_free(
+    p_point: CurvePoint,
+    s_point: CurvePoint,
+    order: int,
+    fp2: QuadraticField,
+) -> QuadraticElement:
+    """``f_{order, P}(S)`` with all vertical-line factors omitted.
+
+    ``p_point`` must have the given (odd prime) order on ``E(Fp)``;
+    ``s_point`` lives on ``E(Fp2)``.  The result is only meaningful after
+    the reduced-Tate final exponentiation, which is what kills the
+    omitted subfield factors.
+    """
+    if s_point.is_infinity:
+        raise ParameterError("cannot evaluate Miller function at infinity")
+    s_x, s_y = s_point.x, s_point.y
+    f = fp2.one()
+    v = p_point
+    for bit_index in range(order.bit_length() - 2, -1, -1):
+        f = f.square() * _line_value(v, v, s_x, s_y, fp2)
+        v = v.double()
+        if (order >> bit_index) & 1:
+            f = f * _line_value(v, p_point, s_x, s_y, fp2)
+            v = v + p_point
+    if not v.is_infinity:
+        raise ParameterError("point order does not divide the loop order")
+    return f
+
+
+def miller_loop_general(
+    p_point: CurvePoint,
+    s_point: CurvePoint,
+    order: int,
+    fp2: QuadraticField,
+    aux_point: CurvePoint,
+) -> QuadraticElement:
+    """``f_{order, P}`` evaluated at the divisor ``(S + R) - (R)``.
+
+    ``aux_point`` is ``R``, a point of ``E(Fp2)`` chosen so that no line
+    in the loop vanishes on it or on ``S + R``; callers retry with a
+    different ``R`` if a zero is hit (raised as :class:`ParameterError`).
+    Numerators and denominators accumulate separately so the whole loop
+    costs a single ``Fp2`` inversion.
+    """
+    if s_point.is_infinity:
+        raise ParameterError("cannot evaluate Miller function at infinity")
+    a_point = s_point + aux_point
+    if a_point.is_infinity or aux_point.is_infinity:
+        raise ParameterError("degenerate auxiliary point")
+    ax, ay = a_point.x, a_point.y
+    bx, by = aux_point.x, aux_point.y
+
+    num = fp2.one()
+    den = fp2.one()
+    v = p_point
+    for bit_index in range(order.bit_length() - 2, -1, -1):
+        l_a = _line_value(v, v, ax, ay, fp2)
+        l_b = _line_value(v, v, bx, by, fp2)
+        v2 = v.double()
+        v_a = _vertical_value(v2, ax, fp2)
+        v_b = _vertical_value(v2, bx, fp2)
+        num = num.square() * l_a * v_b
+        den = den.square() * l_b * v_a
+        v = v2
+        if (order >> bit_index) & 1:
+            l_a = _line_value(v, p_point, ax, ay, fp2)
+            l_b = _line_value(v, p_point, bx, by, fp2)
+            v1 = v + p_point
+            v_a = _vertical_value(v1, ax, fp2)
+            v_b = _vertical_value(v1, bx, fp2)
+            num = num * l_a * v_b
+            den = den * l_b * v_a
+            v = v1
+    if not v.is_infinity:
+        raise ParameterError("point order does not divide the loop order")
+    if num.is_zero() or den.is_zero():
+        raise ParameterError("line vanished on auxiliary divisor; retry R")
+    return num * den.inverse()

@@ -1,0 +1,56 @@
+"""Lightweight operation counting for platform-independent benchmarks.
+
+Wall-clock numbers depend on the host; the *shape* of the paper's
+efficiency claims (how many pairings, scalar multiplications and
+map-to-point calls each scheme performs) does not.  Every
+:class:`~repro.pairing.api.PairingGroup` owns an :class:`OperationCounter`
+and bumps it on each counted primitive, so benchmark harnesses can report
+exact op counts alongside timings.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from contextlib import contextmanager
+
+PAIRING = "pairing"
+SCALAR_MULT = "scalar_mult"
+POINT_ADD = "point_add"
+HASH_TO_GROUP = "hash_to_group"
+GT_EXP = "gt_exp"
+GT_MUL = "gt_mul"
+
+
+class OperationCounter:
+    """A named multiset of primitive-operation counts."""
+
+    def __init__(self):
+        self.counts: Counter[str] = Counter()
+
+    def record(self, name: str, amount: int = 1) -> None:
+        self.counts[name] += amount
+
+    def reset(self) -> None:
+        self.counts.clear()
+
+    def snapshot(self) -> dict[str, int]:
+        return dict(self.counts)
+
+    def total(self, name: str) -> int:
+        return self.counts.get(name, 0)
+
+    @contextmanager
+    def measure(self):
+        """Yield a dict that is filled with the ops recorded in the block."""
+        before = Counter(self.counts)
+        delta: dict[str, int] = {}
+        try:
+            yield delta
+        finally:
+            after = Counter(self.counts)
+            after.subtract(before)
+            delta.update({k: v for k, v in after.items() if v})
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self.counts.items()))
+        return f"OperationCounter({inner})"

@@ -1,0 +1,138 @@
+"""Frozen supersingular pairing parameter sets.
+
+Each set fixes a subgroup order ``q`` (prime), a cofactor ``c`` with
+``12 | c``, and the field prime ``p = c*q - 1``.  The congruences implied
+by ``12 | c`` make both curve families available over the same ``p``:
+
+* ``p % 4 == 3`` — family A (``y^2 = x^3 + x``) is supersingular and
+  ``-1`` is a quadratic non-residue, giving ``Fp2 = Fp[i]``.
+* ``p % 3 == 2`` — family B (``y^2 = x^3 + 1``) is supersingular, cubing
+  is a bijection on ``Fp`` (deterministic MapToPoint), and ``-3`` is a
+  non-residue so the cube root of unity lives in ``Fp2``.
+
+Both families have ``#E(Fp) = p + 1 = c*q``, so the curves contain a
+subgroup of prime order ``q`` with embedding degree 2.
+
+The sets were generated offline by a Miller–Rabin search; the test suite
+(``tests/pairing/test_params.py``) re-verifies every arithmetic property
+above including the primality of ``p`` and ``q``.  ``toy64`` exists
+purely so the test suite runs fast; it offers no security.  ``ss512``
+matches the ~80-bit security level contemporary with the paper (2005);
+``ss1024``/``ss1536`` scale up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+
+
+@dataclass(frozen=True)
+class ParameterSet:
+    """A supersingular pairing parameter set with ``p = c*q - 1``."""
+
+    name: str
+    q: int
+    c: int
+    p: int
+    security_bits: int
+
+    def __post_init__(self):
+        if self.p != self.c * self.q - 1:
+            raise ParameterError(f"{self.name}: p != c*q - 1")
+        if self.c % 12 != 0:
+            raise ParameterError(f"{self.name}: cofactor must be divisible by 12")
+
+    @property
+    def q_bits(self) -> int:
+        return self.q.bit_length()
+
+    @property
+    def p_bits(self) -> int:
+        return self.p.bit_length()
+
+
+_TOY64 = ParameterSet(
+    name="toy64",
+    q=17324573639174612641,
+    c=56346417254833363021322204064,
+    p=976177655035019623064670474984617878259555973023,
+    security_bits=0,
+)
+
+_SS512 = ParameterSet(
+    name="ss512",
+    q=1097116832682633065414916214177683499430470180217,
+    c=int(
+        "86779639211405360377956684777979365700346491991701721934192262914337"
+        "95237020159396430800672383425070216644"
+    ),
+    p=int(
+        "95207402912958678376164264118375042947488052284914401299718711100617"
+        "92069207516746488027620165364891851699911905518014505106436356727758"
+        "857230621912931747"
+    ),
+    security_bits=80,
+)
+
+_SS1024 = ParameterSet(
+    name="ss1024",
+    q=18633204877915252091713576077002433735569804243970114821986794682049,
+    c=int(
+        "58792011430149523618074087429746611680814478273210312259986891935405"
+        "46770772297063619126746117870159257180294573650661410880765912664507"
+        "65859665412903795809769132988645967900912151416461335408814143049617"
+        "7727691725238350991927721038471979480"
+    ),
+    p=int(
+        "10954835941627113597570175960527834943544119520123983368633316901266"
+        "04596556661931090490004715147256401928062797617755802447264618231106"
+        "08970150143639744250042190652081897941794478673726668332502565990012"
+        "17219506302754309459833741589037696708418704318232514732995403116619"
+        "9858320308491374503998167762252354519"
+    ),
+    security_bits=112,
+)
+
+_SS1536 = ParameterSet(
+    name="ss1536",
+    q=int(
+        "86343045684770797795557719236360470292247633428061077362717743556856"
+        "789963717"
+    ),
+    c=int(
+        "17618545241947464729833343382892716821325924510284587287968297937957"
+        "56118726192676935016238389342847144640179028119991959982206487550808"
+        "27639593998234068682452750815092418334799590296501270997320594566616"
+        "46344125568375290906781495066330699831866240725864294350351936448233"
+        "70162695553761150985887717125840495350280922224926511781436824176053"
+        "6000688925148882557131937206751830001392616940"
+    ),
+    p=int(
+        "15212388567246711161294061343332821017052336649868428218963772005744"
+        "60709100810889911065305856125829551706264578760273220373077451338121"
+        "49411449464390406565265719317538284019157944715548585410286866148084"
+        "92381471684202793563021435722820159056107058876307067635428810881196"
+        "38416636541498426324503206672331596551138102918801574215432469937289"
+        "22913713307835664392429848807157551656090671864214326185288220952489"
+        "0357826509659938791520022633556868977970967494279565979"
+    ),
+    security_bits=128,
+)
+
+
+PARAMETER_SETS: dict[str, ParameterSet] = {
+    ps.name: ps for ps in (_TOY64, _SS512, _SS1024, _SS1536)
+}
+
+DEFAULT_PARAMETER_SET = "ss512"
+
+
+def get_parameter_set(name: str) -> ParameterSet:
+    """Look up a parameter set by name, with a helpful error message."""
+    try:
+        return PARAMETER_SETS[name]
+    except KeyError:
+        known = ", ".join(sorted(PARAMETER_SETS))
+        raise ParameterError(f"unknown parameter set {name!r}; known: {known}")

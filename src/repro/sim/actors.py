@@ -1,0 +1,172 @@
+"""Simulation actors that run the real cryptography from :mod:`repro.core`.
+
+These are not mocks: a :class:`TimeServerNode` signs genuine time-bound
+key updates, a :class:`TREReceiverNode` performs genuine pairing
+decryptions.  The simulator only supplies the clock and the network.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.keys import UserKeyPair
+from repro.core.timeserver import PassiveTimeServer, TimeBoundKeyUpdate
+from repro.core.tre import TimedReleaseScheme, TRECiphertext
+from repro.pairing.api import PairingGroup
+from repro.sim.events import Simulator
+from repro.sim.metrics import AnonymityLedger, MetricsCollector
+from repro.sim.network import BroadcastChannel, UnicastLink
+
+
+class TimeServerNode:
+    """A passive time server on the broadcast channel.
+
+    Publishes one update per scheduled label, to everyone at once.  It
+    has no unicast links and no registry of users — its *only* output
+    interface is the broadcast channel, matching the paper's model.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        group: PairingGroup,
+        channel: BroadcastChannel,
+        rng: random.Random,
+    ):
+        self.sim = sim
+        self.group = group
+        self.channel = channel
+        self.server = PassiveTimeServer(group, rng=rng)
+        self.broadcast_arrivals: dict[bytes, list[float]] = {}
+
+    @property
+    def public_key(self):
+        return self.server.public_key
+
+    def schedule_update(self, when: float, time_label: bytes) -> None:
+        self.sim.schedule_at(when, lambda: self._broadcast(time_label))
+
+    def _broadcast(self, time_label: bytes) -> None:
+        update = self.server.publish_update(time_label)
+        size = len(update.to_bytes(self.group))
+        self.broadcast_arrivals[time_label] = self.channel.publish(update, size)
+
+
+class TREReceiverNode:
+    """Holds a TRE key pair; buffers ciphertexts; opens them on update."""
+
+    def __init__(
+        self,
+        name: str,
+        sim: Simulator,
+        group: PairingGroup,
+        server_public,
+        channel: BroadcastChannel,
+        rng: random.Random,
+        metrics: MetricsCollector,
+        verify_updates: bool = True,
+    ):
+        self.name = name
+        self.sim = sim
+        self.group = group
+        self.server_public = server_public
+        self.metrics = metrics
+        self.verify_updates = verify_updates
+        self.scheme = TimedReleaseScheme(group)
+        self.keypair = UserKeyPair.generate(group, server_public, rng)
+        self.pending: dict[bytes, list[TRECiphertext]] = {}
+        self.opened: list[tuple[bytes, bytes, float]] = []
+        self.update_arrivals: dict[bytes, float] = {}
+        channel.subscribe(self.receive_update)
+
+    @property
+    def public(self):
+        return self.keypair.public
+
+    def receive_ciphertext(self, ciphertext: TRECiphertext) -> None:
+        self.metrics.observe(f"ct_arrival:{self.name}", self.sim.now)
+        self.pending.setdefault(ciphertext.time_label, []).append(ciphertext)
+
+    def receive_update(self, update: TimeBoundKeyUpdate) -> None:
+        self.update_arrivals[update.time_label] = self.sim.now
+        for ciphertext in self.pending.pop(update.time_label, []):
+            plaintext = self.scheme.decrypt(
+                ciphertext,
+                self.keypair,
+                update,
+                self.server_public if self.verify_updates else None,
+            )
+            self.opened.append((update.time_label, plaintext, self.sim.now))
+            self.metrics.observe("tre_open_time", self.sim.now)
+
+
+class TRESenderNode:
+    """Encrypts and ships ciphertexts ahead of the release time."""
+
+    def __init__(
+        self,
+        name: str,
+        sim: Simulator,
+        group: PairingGroup,
+        server_public,
+        rng: random.Random,
+    ):
+        self.name = name
+        self.sim = sim
+        self.group = group
+        self.server_public = server_public
+        self.rng = rng
+        self.scheme = TimedReleaseScheme(group)
+
+    def send(
+        self,
+        message: bytes,
+        receiver: TREReceiverNode,
+        link: UnicastLink,
+        time_label: bytes,
+        at: float | None = None,
+    ) -> None:
+        def transmit():
+            ciphertext = self.scheme.encrypt(
+                message,
+                receiver.public,
+                self.server_public,
+                time_label,
+                self.rng,
+            )
+            link.send(
+                ciphertext,
+                ciphertext.size_bytes(self.group),
+                receiver.receive_ciphertext,
+            )
+
+        self.sim.schedule_at(self.sim.now if at is None else at, transmit)
+
+
+class NaiveSenderNode:
+    """The no-crypto strawman: hold the plaintext, send at release time.
+
+    Message opening time then includes the full (large-payload,
+    congested) delivery latency — the unfairness TRE avoids by shipping
+    the ciphertext early.
+    """
+
+    def __init__(self, sim: Simulator, metrics: MetricsCollector):
+        self.sim = sim
+        self.metrics = metrics
+
+    def send_at_release(
+        self,
+        message: bytes,
+        release_time: float,
+        link: UnicastLink,
+        ledger: AnonymityLedger | None = None,
+        receiver_name: str = "receiver",
+    ) -> None:
+        def transmit():
+            def deliver(payload):
+                self.metrics.observe("naive_open_time", self.sim.now)
+
+            link.send(message, len(message), deliver)
+
+        self.sim.schedule_at(release_time, transmit)

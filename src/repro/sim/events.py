@@ -1,0 +1,56 @@
+"""A minimal deterministic discrete-event simulator.
+
+Events are ``(time, sequence, callback)`` triples on a heap; the
+sequence number breaks ties FIFO so runs are fully reproducible given a
+seeded RNG.  Time is a float in seconds (any unit works; the scenarios
+use seconds).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+from repro.errors import SimulationError
+
+
+class Simulator:
+    """The event loop: schedule callbacks, then :meth:`run`."""
+
+    def __init__(self):
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._sequence = 0
+        self.now = 0.0
+        self.events_processed = 0
+
+    def schedule_at(self, when: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at absolute time ``when``."""
+        if when < self.now:
+            raise SimulationError(
+                f"cannot schedule at {when} before current time {self.now}"
+            )
+        heapq.heappush(self._queue, (when, self._sequence, callback))
+        self._sequence += 1
+
+    def schedule_in(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` after ``delay`` time units."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self.schedule_at(self.now + delay, callback)
+
+    def run(self, until: float | None = None) -> float:
+        """Process events (up to time ``until`` if given); returns now."""
+        while self._queue:
+            when, _, callback = self._queue[0]
+            if until is not None and when > until:
+                break
+            heapq.heappop(self._queue)
+            self.now = when
+            self.events_processed += 1
+            callback()
+        if until is not None and until > self.now:
+            self.now = until
+        return self.now
+
+    def pending(self) -> int:
+        return len(self._queue)

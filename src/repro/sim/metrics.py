@@ -1,0 +1,103 @@
+"""Measurement plumbing: traffic accounting and the anonymity ledger.
+
+Two separable concerns:
+
+* :class:`MetricsCollector` — counts messages and bytes per channel and
+  collects named observation series (e.g. per-receiver message opening
+  times) with summary statistics.
+* :class:`AnonymityLedger` — records every identity-revealing fact each
+  party observes.  The paper's privacy claims become assertions over
+  this ledger: after a full TRE scenario the *time server's* entry must
+  be empty, while the escrow/Rivest/Mont baselines accumulate entries.
+"""
+
+from __future__ import annotations
+
+import statistics
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ChannelStats:
+    messages: int = 0
+    bytes: int = 0
+
+
+class MetricsCollector:
+    """Accumulates per-channel traffic and named observation series."""
+
+    def __init__(self):
+        self.channels: dict[str, ChannelStats] = defaultdict(ChannelStats)
+        self.series: dict[str, list[float]] = defaultdict(list)
+
+    def record_message(self, channel: str, size_bytes: int) -> None:
+        stats = self.channels[channel]
+        stats.messages += 1
+        stats.bytes += size_bytes
+
+    def observe(self, series: str, value: float) -> None:
+        self.series[series].append(value)
+
+    def summary(self, series: str) -> dict[str, float]:
+        values = self.series.get(series, [])
+        if not values:
+            return {"count": 0}
+        return {
+            "count": len(values),
+            "mean": statistics.fmean(values),
+            "min": min(values),
+            "max": max(values),
+            "spread": max(values) - min(values),
+            "stdev": statistics.pstdev(values),
+        }
+
+    def channel_totals(self) -> dict[str, tuple[int, int]]:
+        return {
+            name: (stats.messages, stats.bytes)
+            for name, stats in sorted(self.channels.items())
+        }
+
+
+@dataclass
+class PartyView:
+    """What one party has directly observed."""
+
+    sender_identities: set[bytes] = field(default_factory=set)
+    receiver_identities: set[bytes] = field(default_factory=set)
+    plaintexts_seen: int = 0
+    release_times_seen: set[bytes] = field(default_factory=set)
+
+    def is_empty(self) -> bool:
+        return (
+            not self.sender_identities
+            and not self.receiver_identities
+            and self.plaintexts_seen == 0
+            and not self.release_times_seen
+        )
+
+
+class AnonymityLedger:
+    """Per-party observation record backing the privacy assertions."""
+
+    def __init__(self):
+        self._views: dict[str, PartyView] = defaultdict(PartyView)
+
+    def view(self, party: str) -> PartyView:
+        return self._views[party]
+
+    def record_sender_seen(self, party: str, identity: bytes) -> None:
+        self._views[party].sender_identities.add(identity)
+
+    def record_receiver_seen(self, party: str, identity: bytes) -> None:
+        self._views[party].receiver_identities.add(identity)
+
+    def record_plaintext_seen(self, party: str) -> None:
+        self._views[party].plaintexts_seen += 1
+
+    def record_release_time_seen(self, party: str, label: bytes) -> None:
+        self._views[party].release_times_seen.add(label)
+
+    def server_learned_nothing(self, party: str = "time-server") -> bool:
+        """The paper's headline anonymity property as a predicate."""
+        return self._views[party].is_empty()

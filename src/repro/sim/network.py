@@ -1,0 +1,130 @@
+"""Network links, latency models and the broadcast channel.
+
+Latency models are callables drawing a per-delivery delay from an
+explicit RNG.  :class:`UnicastLink` models the (possibly slow,
+congested) sender→receiver path; :class:`BroadcastChannel` models the
+time server's one-to-many update dissemination — one ``publish`` call
+fans out to every subscriber with an independent jitter draw, which is
+exactly the "single update for all receivers" property the scenarios
+measure.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from repro.errors import SimulationError
+from repro.sim.events import Simulator
+from repro.sim.metrics import MetricsCollector
+
+
+class FixedLatency:
+    """Constant delay."""
+
+    def __init__(self, seconds: float):
+        if seconds < 0:
+            raise SimulationError("latency cannot be negative")
+        self.seconds = seconds
+
+    def sample(self, rng: random.Random) -> float:
+        return self.seconds
+
+
+class UniformLatency:
+    """Uniform delay on ``[low, high]`` — crude congestion jitter."""
+
+    def __init__(self, low: float, high: float):
+        if not 0 <= low <= high:
+            raise SimulationError("need 0 <= low <= high")
+        self.low = low
+        self.high = high
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+
+class NormalJitterLatency:
+    """Gaussian jitter around a base delay, clamped at a floor."""
+
+    def __init__(self, base: float, jitter_std: float, floor: float = 1e-3):
+        if base < 0 or jitter_std < 0:
+            raise SimulationError("base and jitter must be non-negative")
+        self.base = base
+        self.jitter_std = jitter_std
+        self.floor = floor
+
+    def sample(self, rng: random.Random) -> float:
+        return max(self.floor, rng.gauss(self.base, self.jitter_std))
+
+
+LatencyModel = Callable  # Anything with .sample(rng) -> float.
+
+
+class UnicastLink:
+    """A point-to-point link delivering byte payloads to one handler."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: LatencyModel,
+        rng: random.Random,
+        metrics: MetricsCollector | None = None,
+        name: str = "unicast",
+    ):
+        self.sim = sim
+        self.latency = latency
+        self.rng = rng
+        self.metrics = metrics
+        self.name = name
+
+    def send(self, payload, size_bytes: int, deliver: Callable) -> float:
+        """Schedule delivery; returns the arrival time."""
+        delay = self.latency.sample(self.rng)
+        arrival = self.sim.now + delay
+        if self.metrics is not None:
+            self.metrics.record_message(self.name, size_bytes)
+        self.sim.schedule_in(delay, lambda: deliver(payload))
+        return arrival
+
+
+class BroadcastChannel:
+    """One-to-many dissemination with independent per-subscriber jitter."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: LatencyModel,
+        rng: random.Random,
+        metrics: MetricsCollector | None = None,
+        name: str = "broadcast",
+    ):
+        self.sim = sim
+        self.latency = latency
+        self.rng = rng
+        self.metrics = metrics
+        self.name = name
+        self._subscribers: list[Callable] = []
+
+    def subscribe(self, deliver: Callable) -> None:
+        self._subscribers.append(deliver)
+
+    @property
+    def subscriber_count(self) -> int:
+        return len(self._subscribers)
+
+    def publish(self, payload, size_bytes: int) -> list[float]:
+        """Fan the payload out; the *sender* pays for one message.
+
+        Returns each subscriber's arrival time (for fairness analysis).
+        Per-subscriber jitter is drawn independently, modelling last-hop
+        variation under a multicast/satellite-style distribution tree.
+        """
+        if self.metrics is not None:
+            self.metrics.record_message(self.name, size_bytes)
+        arrivals = []
+        for deliver in self._subscribers:
+            delay = self.latency.sample(self.rng)
+            arrivals.append(self.sim.now + delay)
+            self.sim.schedule_in(delay, (lambda d: (lambda: d(payload)))(deliver))
+        return arrivals

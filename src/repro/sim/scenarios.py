@@ -1,0 +1,398 @@
+"""The paper's two motivating applications, run end to end in simulation.
+
+* :func:`run_programming_contest` — §1: problem sets must reach teams
+  all over the world *before* the start time but be unreadable until it;
+  fairness is the spread of effective opening times across teams.
+* :func:`run_sealed_bid_auction` — §1: bids are sealed until the close
+  so that nobody (including the auctioneer handling them) can leak them
+  to competitors early.
+
+Both return small result objects with the measured timing/traffic plus
+the anonymity ledger, so tests and benchmark E10 can assert the paper's
+qualitative claims on concrete numbers.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.keys import UserKeyPair
+from repro.core.tre import TimedReleaseScheme
+from repro.errors import SimulationError
+from repro.pairing.api import PairingGroup
+from repro.sim.actors import (
+    NaiveSenderNode,
+    TimeServerNode,
+    TREReceiverNode,
+    TRESenderNode,
+)
+from repro.sim.events import Simulator
+from repro.sim.metrics import AnonymityLedger, MetricsCollector
+from repro.sim.network import (
+    BroadcastChannel,
+    NormalJitterLatency,
+    UnicastLink,
+    UniformLatency,
+)
+
+
+@dataclass
+class ContestResult:
+    """Timing outcome of one simulated contest."""
+
+    contest_start: float
+    tre_open_times: list[float]
+    naive_open_times: list[float]
+    update_arrivals: list[float]
+    ciphertext_arrivals: list[float]
+    server_broadcasts: int
+    server_bytes: int
+    ledger: AnonymityLedger
+
+    @property
+    def tre_spread(self) -> float:
+        return max(self.tre_open_times) - min(self.tre_open_times)
+
+    @property
+    def naive_spread(self) -> float:
+        return max(self.naive_open_times) - min(self.naive_open_times)
+
+    @property
+    def tre_worst_lag(self) -> float:
+        """Worst opening delay past the official start (TRE arm)."""
+        return max(t - self.contest_start for t in self.tre_open_times)
+
+    @property
+    def naive_worst_lag(self) -> float:
+        return max(t - self.contest_start for t in self.naive_open_times)
+
+
+def run_programming_contest(
+    teams: int = 20,
+    seed: int = 2005,
+    group: PairingGroup | None = None,
+    contest_start: float = 3600.0,
+    problem_bytes: int = 20_000,
+    message_latency=None,
+    update_latency=None,
+    send_lead_time: float = 3000.0,
+) -> ContestResult:
+    """Simulate a worldwide programming contest (paper §1).
+
+    The organizer TRE-encrypts the problem set with release time =
+    contest start, ships it to every team well in advance over slow,
+    jittery links, and the passive time server broadcasts one tiny
+    update at the start.  A parallel "naive" arm withholds the plaintext
+    until the start and then ships it over the same links.
+    """
+    if teams < 1:
+        raise SimulationError("need at least one team")
+    rng = random.Random(seed)
+    group = group or PairingGroup("toy64")
+    message_latency = message_latency or UniformLatency(5.0, 240.0)
+    update_latency = update_latency or NormalJitterLatency(0.08, 0.03)
+
+    sim = Simulator()
+    metrics = MetricsCollector()
+    ledger = AnonymityLedger()
+    channel = BroadcastChannel(sim, update_latency, rng, metrics, "updates")
+    server_node = TimeServerNode(sim, group, channel, rng)
+    organizer = TRESenderNode("organizer", sim, group, server_node.public_key, rng)
+    naive_organizer = NaiveSenderNode(sim, metrics)
+
+    start_label = b"contest:start"
+    problem_set = rng.randbytes(problem_bytes)
+
+    receivers = []
+    for index in range(teams):
+        receiver = TREReceiverNode(
+            f"team-{index}",
+            sim,
+            group,
+            server_node.public_key,
+            channel,
+            rng,
+            metrics,
+        )
+        receivers.append(receiver)
+        link = UnicastLink(sim, message_latency, rng, metrics, "problems")
+        organizer.send(
+            problem_set,
+            receiver,
+            link,
+            start_label,
+            at=contest_start - send_lead_time,
+        )
+        naive_link = UnicastLink(sim, message_latency, rng, metrics, "naive")
+        naive_organizer.send_at_release(problem_set, contest_start, naive_link)
+
+    server_node.schedule_update(contest_start, start_label)
+    sim.run()
+
+    tre_open_times = metrics.series["tre_open_time"]
+    if len(tre_open_times) != teams:
+        raise SimulationError(
+            f"{teams - len(tre_open_times)} teams never opened the problems "
+            "(ciphertext arrived after the update?)"
+        )
+    ciphertext_arrivals = [
+        value
+        for name, values in metrics.series.items()
+        if name.startswith("ct_arrival:")
+        for value in values
+    ]
+    return ContestResult(
+        contest_start=contest_start,
+        tre_open_times=tre_open_times,
+        naive_open_times=metrics.series["naive_open_time"],
+        update_arrivals=server_node.broadcast_arrivals[start_label],
+        ciphertext_arrivals=ciphertext_arrivals,
+        server_broadcasts=metrics.channels["updates"].messages,
+        server_bytes=metrics.channels["updates"].bytes,
+        ledger=ledger,
+    )
+
+
+@dataclass
+class AuctionResult:
+    """Outcome of one simulated sealed-bid auction."""
+
+    close_time: float
+    bids: dict[str, int]
+    winner: str
+    winning_bid: int
+    opened_at: float
+    early_opening_attempts: int
+    early_openings_succeeded: int
+    server_broadcasts: int
+    ledger: AnonymityLedger
+    bid_bytes: dict[str, int] = field(default_factory=dict)
+
+
+def run_sealed_bid_auction(
+    bidders: int = 8,
+    seed: int = 1993,
+    group: PairingGroup | None = None,
+    close_time: float = 600.0,
+    early_attempt_times: tuple[float, ...] = (200.0, 400.0),
+) -> AuctionResult:
+    """Simulate a sealed-bid government tender (paper §1).
+
+    Each bidder encrypts its bid to the auctioneer with release time =
+    the close.  The auctioneer holds all ciphertexts and *tries* to open
+    them early (modelling the corrupt-agent threat the paper describes);
+    every early attempt fails because no update exists yet.  At the
+    close the time server broadcasts one update and all bids open.
+    """
+    if bidders < 2:
+        raise SimulationError("an auction needs at least two bidders")
+    rng = random.Random(seed)
+    group = group or PairingGroup("toy64")
+
+    sim = Simulator()
+    metrics = MetricsCollector()
+    ledger = AnonymityLedger()
+    channel = BroadcastChannel(
+        sim, NormalJitterLatency(0.05, 0.01), rng, metrics, "updates"
+    )
+    server_node = TimeServerNode(sim, group, channel, rng)
+    scheme = TimedReleaseScheme(group)
+    auctioneer = UserKeyPair.generate(group, server_node.public_key, rng)
+
+    close_label = b"auction:close"
+    bids = {f"bidder-{i}": rng.randrange(1_000, 1_000_000) for i in range(bidders)}
+    sealed: dict[str, object] = {}
+    bid_bytes: dict[str, int] = {}
+
+    def submit(name: str, amount: int):
+        def do_submit():
+            ciphertext = scheme.encrypt(
+                str(amount).encode(),
+                auctioneer.public,
+                server_node.public_key,
+                close_label,
+                rng,
+            )
+            sealed[name] = ciphertext
+            bid_bytes[name] = ciphertext.size_bytes(group)
+
+        return do_submit
+
+    for index, (name, amount) in enumerate(sorted(bids.items())):
+        sim.schedule_at(10.0 + index, submit(name, amount))
+
+    # The corrupt-agent probe: before the close, try opening with any
+    # update the server has actually published (none for the close label).
+    early_results = {"attempts": 0, "succeeded": 0}
+
+    def attempt_early_opening():
+        for name, ciphertext in sealed.items():
+            early_results["attempts"] += 1
+            try:
+                server_node.server.lookup(close_label)
+                early_results["succeeded"] += 1
+            except Exception:
+                pass  # No update published yet: the bid stays sealed.
+
+    for when in early_attempt_times:
+        sim.schedule_at(when, attempt_early_opening)
+
+    opened: dict[str, int] = {}
+    opened_at = {"time": None}
+
+    def open_all(update):
+        for name, ciphertext in sorted(sealed.items()):
+            plaintext = scheme.decrypt(
+                ciphertext, auctioneer, update, server_node.public_key
+            )
+            opened[name] = int(plaintext.decode())
+        opened_at["time"] = sim.now
+
+    channel.subscribe(open_all)
+    server_node.schedule_update(close_time, close_label)
+    sim.run()
+
+    if opened != bids:
+        raise SimulationError("recovered bids do not match submitted bids")
+    winner = max(opened, key=lambda name: opened[name])
+    return AuctionResult(
+        close_time=close_time,
+        bids=bids,
+        winner=winner,
+        winning_bid=bids[winner],
+        opened_at=opened_at["time"],
+        early_opening_attempts=early_results["attempts"],
+        early_openings_succeeded=early_results["succeeded"],
+        server_broadcasts=metrics.channels["updates"].messages,
+        ledger=ledger,
+    )
+
+
+@dataclass
+class ThresholdBeaconResult:
+    """Outcome of one simulated threshold-beacon release."""
+
+    release_time: float
+    member_count: int
+    threshold: int
+    offline_members: int
+    share_arrivals: list[float]
+    combined_at: float | None
+    receivers_opened: int
+    open_times: list[float]
+
+    @property
+    def time_to_update(self) -> float:
+        """Delay from the release instant to the combined update."""
+        if self.combined_at is None:
+            raise SimulationError("the beacon never reached its threshold")
+        return self.combined_at - self.release_time
+
+
+def run_threshold_beacon(
+    members: int = 5,
+    threshold: int = 3,
+    offline: int = 1,
+    receivers: int = 10,
+    seed: int = 2024,
+    group: PairingGroup | None = None,
+    release_time: float = 120.0,
+    share_latency=None,
+) -> ThresholdBeaconResult:
+    """Simulate a k-of-N beacon releasing one epoch under partial failure.
+
+    ``offline`` members never publish their share.  A relay collects
+    share broadcasts, verifies each against the Feldman commitments,
+    and combines as soon as ``threshold`` valid shares have arrived;
+    the combined update is then broadcast to the receivers, who hold
+    TRE ciphertexts sealed to the release label.
+    """
+    from repro.core.threshold import ThresholdTimeServer
+
+    if offline > members - threshold:
+        raise SimulationError(
+            "too many offline members: the threshold can never be met"
+        )
+    rng = random.Random(seed)
+    group = group or PairingGroup("toy64")
+    share_latency = share_latency or NormalJitterLatency(0.25, 0.10)
+
+    sim = Simulator()
+    metrics = MetricsCollector()
+    coordinator, member_objs = ThresholdTimeServer.setup(
+        group, members=members, threshold=threshold, rng=rng
+    )
+    label = b"beacon:release"
+    scheme = TimedReleaseScheme(group)
+    user_keys = [
+        UserKeyPair.generate(group, coordinator.public_key, rng)
+        for _ in range(receivers)
+    ]
+    ciphertexts = [
+        scheme.encrypt(
+            f"payload-{i}".encode(), key.public, coordinator.public_key,
+            label, rng,
+        )
+        for i, key in enumerate(user_keys)
+    ]
+
+    update_channel = BroadcastChannel(
+        sim, NormalJitterLatency(0.05, 0.02), rng, metrics, "updates"
+    )
+    opened: list[tuple[int, bytes]] = []
+
+    def make_receiver(index):
+        def on_update(update):
+            plaintext = scheme.decrypt(
+                ciphertexts[index], user_keys[index], update,
+                coordinator.public_key,
+            )
+            opened.append((index, plaintext))
+            metrics.observe("beacon_open_time", sim.now)
+
+        return on_update
+
+    for index in range(receivers):
+        update_channel.subscribe(make_receiver(index))
+
+    state = {"shares": [], "combined_at": None, "arrivals": []}
+
+    def on_share(share):
+        state["arrivals"].append(sim.now)
+        if state["combined_at"] is not None:
+            return
+        if not coordinator.verify_share(share):
+            return
+        state["shares"].append(share)
+        if len(state["shares"]) >= threshold:
+            update = coordinator.combine(state["shares"], verify=False)
+            state["combined_at"] = sim.now
+            update_channel.publish(update, len(update.to_bytes(group)))
+
+    online = member_objs[offline:]
+    for member in online:
+        link = UnicastLink(sim, share_latency, rng, metrics, "shares")
+        sim.schedule_at(
+            release_time,
+            (lambda m=member, l=link: l.send(
+                m.issue_update_share(label),
+                group.point_bytes + len(label),
+                on_share,
+            )),
+        )
+    sim.run()
+
+    expected = [(i, f"payload-{i}".encode()) for i in range(receivers)]
+    if sorted(opened) != expected:
+        raise SimulationError("not every receiver recovered its payload")
+    return ThresholdBeaconResult(
+        release_time=release_time,
+        member_count=members,
+        threshold=threshold,
+        offline_members=offline,
+        share_arrivals=state["arrivals"],
+        combined_at=state["combined_at"],
+        receivers_opened=len(opened),
+        open_times=metrics.series["beacon_open_time"],
+    )

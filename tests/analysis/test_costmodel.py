@@ -1,0 +1,166 @@
+"""The symbolic cost model must match the live operation counters.
+
+These tests run each scheme once with the group's counters on and
+compare against the declared :class:`OpBudget` — a regression net for
+any change that silently alters a scheme's operation count.
+"""
+
+import pytest
+
+from repro.analysis.costmodel import (
+    HYBRID_COST,
+    IDTRE_COST,
+    RECEIVER_KEY_CHECK_COST,
+    TRE_COST,
+    UPDATE_VERIFY_COST,
+    cost_table,
+    multiserver_cost,
+    resilient_cost,
+)
+from repro.core.idtre import IdentityTimedReleaseScheme
+from repro.core.keys import ServerKeyPair
+from repro.core.timeserver import PassiveTimeServer
+from repro.core.tre import TimedReleaseScheme
+
+LABEL = b"costmodel-T"
+
+
+def _measure(group, fn):
+    with group.counters.measure() as delta:
+        fn()
+    return delta
+
+
+def _assert_budget(measured: dict, budget) -> None:
+    expected = budget.as_dict()
+    relevant = {
+        k: v for k, v in measured.items()
+        if k in ("pairing", "scalar_mult", "hash_to_group", "gt_exp", "point_add")
+    }
+    # point_add counts are advisory; compare the expensive ops exactly.
+    relevant.pop("point_add", None)
+    expected.pop("point_add", None)
+    assert relevant == expected
+
+
+class TestFixedBudgets:
+    def test_tre(self, group, server, user, rng):
+        scheme = TimedReleaseScheme(group)
+        measured = _measure(group, lambda: scheme.encrypt(
+            b"m" * 32, user.public, server.public_key, LABEL, rng,
+            verify_receiver_key=False,
+        ))
+        _assert_budget(measured, TRE_COST.encrypt)
+        ct = scheme.encrypt(
+            b"m" * 32, user.public, server.public_key, LABEL, rng,
+            verify_receiver_key=False,
+        )
+        update = server.publish_update(LABEL)
+        measured = _measure(group, lambda: scheme.decrypt(ct, user, update))
+        _assert_budget(measured, TRE_COST.decrypt)
+
+    def test_idtre(self, group, rng):
+        master = ServerKeyPair.generate(group, rng)
+        scheme = IdentityTimedReleaseScheme(group)
+        measured = _measure(group, lambda: scheme.encrypt(
+            b"m" * 32, b"alice", master.public, LABEL, rng
+        ))
+        _assert_budget(measured, IDTRE_COST.encrypt)
+        key = scheme.extract_user_key(master, b"alice")
+        ct = scheme.encrypt(b"m" * 32, b"alice", master.public, LABEL, rng)
+        server = PassiveTimeServer(group, keypair=master)
+        update = server.publish_update(LABEL)
+        measured = _measure(group, lambda: scheme.decrypt(ct, key, update))
+        _assert_budget(measured, IDTRE_COST.decrypt)
+
+    def test_hybrid(self, group, server, rng):
+        from repro.baselines.hybrid_pke_ibe import HybridPkeIbeTimedRelease
+
+        scheme = HybridPkeIbeTimedRelease(group)
+        receiver = scheme.generate_receiver_keypair(rng)
+        measured = _measure(group, lambda: scheme.encrypt(
+            b"m" * 32, receiver.public, server.public_key, LABEL, rng
+        ))
+        _assert_budget(measured, HYBRID_COST.encrypt)
+        ct = scheme.encrypt(
+            b"m" * 32, receiver.public, server.public_key, LABEL, rng
+        )
+        update = server.publish_update(LABEL)
+        measured = _measure(
+            group, lambda: scheme.decrypt(ct, receiver.private, update)
+        )
+        _assert_budget(measured, HYBRID_COST.decrypt)
+
+    def test_update_verify(self, group, server):
+        update = server.publish_update(b"costmodel-verify")
+        measured = _measure(
+            group, lambda: update.verify(group, server.public_key)
+        )
+        _assert_budget(measured, UPDATE_VERIFY_COST)
+
+    def test_receiver_key_check(self, group, server, user):
+        measured = _measure(
+            group,
+            lambda: user.public.verify_well_formed(group, server.public_key),
+        )
+        _assert_budget(measured, RECEIVER_KEY_CHECK_COST)
+
+
+class TestParametricBudgets:
+    @pytest.mark.parametrize("servers", [1, 3])
+    def test_multiserver(self, group, rng, servers):
+        from repro.core.multiserver import (
+            MultiServerTimedReleaseScheme,
+            MultiServerUserKeyPair,
+        )
+
+        nodes = [PassiveTimeServer(group, rng=rng) for _ in range(servers)]
+        scheme = MultiServerTimedReleaseScheme(
+            group, [n.public_key for n in nodes]
+        )
+        user = MultiServerUserKeyPair.generate(
+            group, [n.public_key for n in nodes], rng
+        )
+        budget = multiserver_cost(servers)
+        measured = _measure(group, lambda: scheme.encrypt(
+            b"m" * 32, user.public, LABEL, rng, verify_receiver_key=False
+        ))
+        _assert_budget(measured, budget.encrypt)
+        ct = scheme.encrypt(
+            b"m" * 32, user.public, LABEL, rng, verify_receiver_key=False
+        )
+        updates = [n.publish_update(LABEL) for n in nodes]
+        measured = _measure(group, lambda: scheme.decrypt(
+            ct, user.private, updates, verify_updates=False
+        ))
+        _assert_budget(measured, budget.decrypt)
+
+    @pytest.mark.parametrize("depth", [4, 6])
+    def test_resilient(self, group, rng, depth):
+        from repro.core.resilient import ResilientTRE, ResilientTimeServer
+
+        server = ResilientTimeServer(group, depth, rng)
+        scheme = ResilientTRE(group, server.tree, server.public_key)
+        user = scheme.generate_user_keypair(server.public_key, rng)
+        budget = resilient_cost(depth)
+        epoch = (1 << depth) - 2
+        measured = _measure(group, lambda: scheme.encrypt(
+            b"m" * 32, user.public, epoch, rng, verify_receiver_key=False
+        ))
+        _assert_budget(measured, budget.encrypt)
+        ct = scheme.encrypt(
+            b"m" * 32, user.public, epoch, rng, verify_receiver_key=False
+        )
+        update = server.publish_update(epoch)
+        leaf = scheme.derive_leaf_key(
+            scheme.find_covering_key(update, epoch), epoch, rng
+        )
+        measured = _measure(group, lambda: scheme.decrypt(ct, user, leaf))
+        _assert_budget(measured, budget.decrypt)
+
+
+class TestRendering:
+    def test_cost_table_renders(self):
+        table = cost_table()
+        assert "TRE" in table
+        assert "hybrid" in table

@@ -1,0 +1,30 @@
+"""Tests for the ASCII table formatter."""
+
+from repro.analysis.table import format_table
+
+
+class TestFormatTable:
+    def test_basic_shape(self):
+        out = format_table(("a", "b"), [(1, 2), (3, 4)])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert "a" in lines[0] and "b" in lines[0]
+
+    def test_title(self):
+        out = format_table(("x",), [(1,)], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        out = format_table(("v",), [(0.12345,), (12.3,), (12345.6,), (0.0,)])
+        assert "0.1234" in out or "0.1235" in out
+        assert "12.30" in out
+        assert "12,346" in out
+
+    def test_empty_rows(self):
+        out = format_table(("col",), [])
+        assert "col" in out
+
+    def test_alignment(self):
+        out = format_table(("name", "val"), [("a", 1), ("long-name", 22)])
+        lines = out.splitlines()
+        assert len(lines[2]) == len(lines[3])

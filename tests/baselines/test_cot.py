@@ -1,0 +1,130 @@
+"""Tests for the conditional-oblivious-transfer baseline."""
+
+import pytest
+
+from repro.baselines.cot import (
+    COTReceiver,
+    COTTimeServer,
+    run_cot_session,
+    seal_message,
+)
+from repro.errors import ProtocolError
+
+TIME_BITS = 12
+
+
+@pytest.fixture(scope="module")
+def cot_server(group, session_rng):
+    return COTTimeServer(group, time_bits=TIME_BITS, rng=session_rng)
+
+
+def _sealed(group, cot_server, rng, release=100, message=b"timed"):
+    return seal_message(group, cot_server.transfer_public, message, release, rng)
+
+
+class TestPredicate:
+    def test_too_early_returns_nothing(self, group, cot_server, rng):
+        sealed = _sealed(group, cot_server, rng, release=100)
+        plaintext, _ = run_cot_session(group, cot_server, sealed, 99, rng)
+        assert plaintext is None
+
+    def test_exactly_at_release(self, group, cot_server, rng):
+        sealed = _sealed(group, cot_server, rng, release=100)
+        plaintext, _ = run_cot_session(group, cot_server, sealed, 100, rng)
+        assert plaintext == b"timed"
+
+    def test_after_release(self, group, cot_server, rng):
+        sealed = _sealed(group, cot_server, rng, release=100)
+        plaintext, _ = run_cot_session(group, cot_server, sealed, 3000, rng)
+        assert plaintext == b"timed"
+
+    @pytest.mark.parametrize("release,now,expected", [
+        (0, 0, True),
+        (1, 0, False),
+        (2**TIME_BITS - 2, 2**TIME_BITS - 2, True),
+        (2**TIME_BITS - 1, 2**TIME_BITS - 2, False),
+        (7, 8, True),
+        (8, 7, False),
+    ])
+    def test_boundary_cases(self, group, cot_server, rng, release, now, expected):
+        sealed = _sealed(group, cot_server, rng, release=release)
+        plaintext, _ = run_cot_session(group, cot_server, sealed, now, rng)
+        assert (plaintext == b"timed") is expected
+
+
+class TestProtocolShape:
+    def test_bandwidth_linear_in_time_bits(self, group, session_rng, rng):
+        sizes = {}
+        for bits in (8, 16, 32):
+            server = COTTimeServer(group, time_bits=bits, rng=session_rng)
+            sealed = seal_message(group, server.transfer_public, b"m", 5, rng)
+            _, moved = run_cot_session(group, server, sealed, 10, rng)
+            sizes[bits] = moved
+        # Logarithmic in the time *range* = linear in the bit count.
+        assert sizes[16] < 2.4 * sizes[8]
+        assert sizes[32] < 2.4 * sizes[16]
+        assert sizes[32] > sizes[16] > sizes[8]
+
+    def test_server_work_per_session(self, group, cot_server, rng):
+        sealed = _sealed(group, cot_server, rng)
+        before_sessions = cot_server.sessions_served
+        before_ops = cot_server.homomorphic_ops
+        run_cot_session(group, cot_server, sealed, 100, rng)
+        assert cot_server.sessions_served == before_sessions + 1
+        assert cot_server.homomorphic_ops - before_ops >= TIME_BITS
+
+    def test_dos_vector(self, group, cot_server, rng):
+        """Footnote 5: the server cannot distinguish far-future queries,
+        so it does full work for a request that can never succeed."""
+        sealed = _sealed(group, cot_server, rng, release=2**TIME_BITS - 1)
+        before = cot_server.homomorphic_ops
+        plaintext, _ = run_cot_session(group, cot_server, sealed, 0, rng)
+        assert plaintext is None
+        assert cot_server.homomorphic_ops - before >= TIME_BITS
+
+
+class TestMisuse:
+    def test_oversized_release_epoch_rejected(self, group, cot_server, rng):
+        sealed = _sealed(group, cot_server, rng, release=2**TIME_BITS)
+        receiver = COTReceiver(group, TIME_BITS)
+        with pytest.raises(ProtocolError):
+            receiver.build_request(sealed, rng)
+
+    def test_wrong_bit_count_rejected(self, group, cot_server, rng):
+        sealed = _sealed(group, cot_server, rng)
+        receiver = COTReceiver(group, TIME_BITS + 1)
+        request = receiver.build_request(sealed, rng)
+        with pytest.raises(ProtocolError):
+            cot_server.respond(request, 100, rng)
+
+    def test_response_before_request_rejected(self, group, cot_server, rng):
+        sealed = _sealed(group, cot_server, rng)
+        receiver = COTReceiver(group, TIME_BITS)
+        with pytest.raises(ProtocolError):
+            receiver.process_response(sealed, None, cot_server.transfer_public)
+
+    def test_clock_overflow_rejected(self, group, cot_server, rng):
+        sealed = _sealed(group, cot_server, rng)
+        receiver = COTReceiver(group, TIME_BITS)
+        request = receiver.build_request(sealed, rng)
+        with pytest.raises(ProtocolError):
+            cot_server.respond(request, 2**TIME_BITS - 1, rng)
+
+
+class TestPrivacy:
+    def test_request_hides_release_time(self, group, cot_server, rng):
+        """The server's view of two different release times is a set of
+        ElGamal ciphertexts under a fresh receiver key — structurally
+        identical; nothing in the request exposes the epoch."""
+        s1 = _sealed(group, cot_server, rng, release=1)
+        s2 = _sealed(group, cot_server, rng, release=2**TIME_BITS - 1)
+        r1 = COTReceiver(group, TIME_BITS).build_request(s1, rng)
+        r2 = COTReceiver(group, TIME_BITS).build_request(s2, rng)
+        assert len(r1.bit_ciphertexts) == len(r2.bit_ciphertexts)
+        assert r1.size_bytes(group) == r2.size_bytes(group)
+
+    def test_transfer_point_blinded(self, group, cot_server, rng):
+        sealed = _sealed(group, cot_server, rng)
+        request = COTReceiver(group, TIME_BITS).build_request(sealed, rng)
+        # The blinded point differs from the sender's rho point.
+        assert request.blinded_point != sealed.rho_point

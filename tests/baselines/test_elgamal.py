@@ -1,0 +1,95 @@
+"""Tests for hashed and exponential ElGamal."""
+
+import pytest
+
+from repro.baselines.elgamal import ExponentialElGamal, HashedElGamal
+
+
+@pytest.fixture(scope="module")
+def pke(group):
+    return HashedElGamal(group)
+
+
+@pytest.fixture(scope="module")
+def ahe(group):
+    return ExponentialElGamal(group)
+
+
+class TestHashedElGamal:
+    def test_roundtrip(self, pke, rng):
+        kp = pke.generate_keypair(rng)
+        ct = pke.encrypt(b"hello elgamal", kp.public, rng)
+        assert pke.decrypt(ct, kp.private) == b"hello elgamal"
+
+    def test_wrong_key_garbage(self, pke, rng):
+        kp1 = pke.generate_keypair(rng)
+        kp2 = pke.generate_keypair(rng)
+        ct = pke.encrypt(b"msg", kp1.public, rng)
+        assert pke.decrypt(ct, kp2.private) != b"msg"
+
+    def test_randomized(self, pke, rng):
+        kp = pke.generate_keypair(rng)
+        c1 = pke.encrypt(b"m", kp.public, rng)
+        c2 = pke.encrypt(b"m", kp.public, rng)
+        assert c1.r_point != c2.r_point
+        assert c1.masked != c2.masked
+
+    def test_empty_message(self, pke, rng):
+        kp = pke.generate_keypair(rng)
+        assert pke.decrypt(pke.encrypt(b"", kp.public, rng), kp.private) == b""
+
+    def test_custom_generator(self, group, rng):
+        custom = group.random_point(rng)
+        pke = HashedElGamal(group, generator=custom)
+        kp = pke.generate_keypair(rng)
+        assert kp.public == group.mul(custom, kp.private)
+        ct = pke.encrypt(b"m", kp.public, rng)
+        assert pke.decrypt(ct, kp.private) == b"m"
+
+
+class TestExponentialElGamal:
+    def test_decrypt_point(self, group, ahe, rng):
+        kp = ahe.generate_keypair(rng)
+        ct = ahe.encrypt(42, kp.public, rng)
+        assert ahe.decrypt_point(ct, kp.private) == group.mul(group.generator, 42)
+
+    def test_zero_detection(self, ahe, rng):
+        kp = ahe.generate_keypair(rng)
+        assert ahe.is_zero(ahe.encrypt(0, kp.public, rng), kp.private)
+        assert not ahe.is_zero(ahe.encrypt(1, kp.public, rng), kp.private)
+
+    def test_additive_homomorphism(self, group, ahe, rng):
+        kp = ahe.generate_keypair(rng)
+        c = ahe.add(ahe.encrypt(10, kp.public, rng), ahe.encrypt(32, kp.public, rng))
+        assert ahe.decrypt_point(c, kp.private) == group.mul(group.generator, 42)
+
+    def test_plaintext_addition(self, group, ahe, rng):
+        kp = ahe.generate_keypair(rng)
+        c = ahe.add_plain(ahe.encrypt(40, kp.public, rng), 2)
+        assert ahe.decrypt_point(c, kp.private) == group.mul(group.generator, 42)
+
+    def test_scaling(self, group, ahe, rng):
+        kp = ahe.generate_keypair(rng)
+        c = ahe.scale(ahe.encrypt(21, kp.public, rng), 2)
+        assert ahe.decrypt_point(c, kp.private) == group.mul(group.generator, 42)
+
+    def test_negative_scale(self, group, ahe, rng):
+        kp = ahe.generate_keypair(rng)
+        c = ahe.scale(ahe.encrypt(5, kp.public, rng), -1)
+        expected = group.mul(group.generator, group.q - 5)
+        assert ahe.decrypt_point(c, kp.private) == expected
+
+    def test_rerandomize_preserves_plaintext(self, group, ahe, rng):
+        kp = ahe.generate_keypair(rng)
+        original = ahe.encrypt(7, kp.public, rng)
+        fresh = ahe.rerandomize(original, kp.public, rng)
+        assert fresh.c1 != original.c1
+        assert ahe.decrypt_point(fresh, kp.private) == group.mul(group.generator, 7)
+
+    def test_linear_combination(self, group, ahe, rng):
+        # 3*enc(x) + enc(y) + 5 with x=4, y=10 -> 27.
+        kp = ahe.generate_keypair(rng)
+        cx = ahe.encrypt(4, kp.public, rng)
+        cy = ahe.encrypt(10, kp.public, rng)
+        combo = ahe.add_plain(ahe.add(ahe.scale(cx, 3), cy), 5)
+        assert ahe.decrypt_point(combo, kp.private) == group.mul(group.generator, 27)

@@ -1,0 +1,99 @@
+"""Tests for timed commitments and timed-release signatures."""
+
+import pytest
+
+from repro.baselines.timed_commitment import (
+    CommitmentOpening,
+    TimedCommitmentScheme,
+    TimedSignatureScheme,
+)
+from repro.core.bls import BLSSignatureScheme
+from repro.core.keys import ServerKeyPair
+from repro.errors import DecryptionError, ParameterError
+
+
+@pytest.fixture(scope="module")
+def scheme():
+    return TimedCommitmentScheme(modulus_bits=256)
+
+
+class TestTimedCommitment:
+    def test_cooperative_open(self, scheme, rng):
+        commitment, opening = scheme.commit(b"deal terms", 500, rng)
+        assert scheme.open(commitment, opening) == b"deal terms"
+
+    def test_forced_open(self, scheme, rng):
+        commitment, _ = scheme.commit(b"deal terms", 500, rng)
+        assert scheme.force_open(commitment) == b"deal terms"
+
+    def test_both_paths_agree(self, scheme, rng):
+        commitment, opening = scheme.commit(b"same value", 200, rng)
+        assert scheme.open(commitment, opening) == scheme.force_open(commitment)
+
+    def test_wrong_pad_rejected(self, scheme, rng):
+        commitment, opening = scheme.commit(b"m", 100, rng)
+        bad = CommitmentOpening(opening.u_value + 1)
+        with pytest.raises(DecryptionError):
+            scheme.open(commitment, bad)
+
+    def test_commitment_hides_message(self, scheme, rng):
+        commitment, _ = scheme.commit(b"hidden-text", 100, rng)
+        assert b"hidden-text" not in commitment.sealed
+
+    def test_zero_squarings_rejected(self, scheme, rng):
+        with pytest.raises(ParameterError):
+            scheme.commit(b"m", 0, rng)
+
+    def test_tiny_modulus_rejected(self):
+        with pytest.raises(ParameterError):
+            TimedCommitmentScheme(modulus_bits=16)
+
+    def test_forced_open_cost_scales(self, scheme, rng):
+        import time
+
+        c_small, _ = scheme.commit(b"m", 1_000, rng)
+        c_large, _ = scheme.commit(b"m", 30_000, rng)
+        start = time.perf_counter()
+        scheme.force_open(c_small)
+        small = time.perf_counter() - start
+        start = time.perf_counter()
+        scheme.force_open(c_large)
+        large = time.perf_counter() - start
+        assert large > 3 * small  # ~30x squarings; generous slack
+
+
+class TestTimedSignature:
+    @pytest.fixture(scope="class")
+    def signer(self, group, session_rng):
+        return ServerKeyPair.generate(group, session_rng)
+
+    @pytest.fixture(scope="class")
+    def ts_scheme(self, group):
+        return TimedSignatureScheme(group, modulus_bits=256)
+
+    def test_cooperative_release(self, group, ts_scheme, signer, rng):
+        timed, opening = ts_scheme.sign_timed(signer, b"contract", 200, rng)
+        signature = ts_scheme.open_cooperative(timed, opening, signer.public)
+        assert BLSSignatureScheme(group).verify(
+            signer.public, b"contract", signature
+        )
+
+    def test_forced_release(self, group, ts_scheme, signer, rng):
+        timed, _ = ts_scheme.sign_timed(signer, b"contract", 200, rng)
+        signature = ts_scheme.force_open(timed, signer.public)
+        assert BLSSignatureScheme(group).verify(
+            signer.public, b"contract", signature
+        )
+
+    def test_signature_bound_to_message(self, group, ts_scheme, signer, rng):
+        timed, _ = ts_scheme.sign_timed(signer, b"contract", 200, rng)
+        recovered = ts_scheme.force_open(timed, signer.public)
+        assert not BLSSignatureScheme(group).verify(
+            signer.public, b"other message", recovered
+        )
+
+    def test_wrong_signer_detected(self, group, ts_scheme, signer, rng):
+        other = ServerKeyPair.generate(group, rng)
+        timed, opening = ts_scheme.sign_timed(signer, b"contract", 200, rng)
+        with pytest.raises(DecryptionError):
+            ts_scheme.open_cooperative(timed, opening, other.public)

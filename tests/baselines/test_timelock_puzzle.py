@@ -1,0 +1,84 @@
+"""Tests for the RSW time-lock puzzle baseline."""
+
+import pytest
+
+from repro.baselines.timelock_puzzle import (
+    SimulatedMachine,
+    TimeLockPuzzle,
+    release_time_spread,
+)
+from repro.errors import ParameterError
+
+
+@pytest.fixture(scope="module")
+def tlp():
+    return TimeLockPuzzle(modulus_bits=256)
+
+
+class TestSealSolve:
+    def test_roundtrip(self, tlp, rng):
+        puzzle = tlp.seal(b"the future", squarings=200, rng=rng)
+        solution = tlp.solve(puzzle)
+        assert solution.plaintext == b"the future"
+        assert solution.squarings_performed == 200
+
+    def test_single_squaring(self, tlp, rng):
+        puzzle = tlp.seal(b"x", squarings=1, rng=rng)
+        assert tlp.solve(puzzle).plaintext == b"x"
+
+    def test_zero_squarings_rejected(self, tlp, rng):
+        with pytest.raises(ParameterError):
+            tlp.seal(b"m", squarings=0, rng=rng)
+
+    def test_tiny_modulus_rejected(self):
+        with pytest.raises(ParameterError):
+            TimeLockPuzzle(modulus_bits=16)
+
+    def test_sealing_is_cheap_solving_is_linear(self, tlp, rng):
+        """The sender's trapdoor: sealing cost is independent of t."""
+        import time
+
+        start = time.perf_counter()
+        tlp.seal(b"m", squarings=10, rng=rng)
+        cheap = time.perf_counter() - start
+        start = time.perf_counter()
+        tlp.seal(b"m", squarings=1_000_000, rng=rng)
+        still_cheap = time.perf_counter() - start
+        # Both dominated by prime generation; within an order of magnitude.
+        assert still_cheap < 20 * cheap + 0.5
+
+    def test_puzzle_reveals_parameters_not_key(self, tlp, rng):
+        puzzle = tlp.seal(b"secret", squarings=100, rng=rng)
+        assert b"secret" not in puzzle.sealed
+        assert puzzle.squarings == 100  # t is public by design
+
+    def test_measure_squaring_rate(self, tlp):
+        rate = tlp.measure_squaring_rate(sample=500)
+        assert rate > 100  # Any machine manages a few hundred per second.
+
+
+class TestReleaseTimeModel:
+    def test_speed_halves_time_doubles(self, tlp, rng):
+        puzzle = tlp.seal(b"m", squarings=10_000, rng=rng)
+        fast = SimulatedMachine("fast", squarings_per_second=2_000_000)
+        slow = SimulatedMachine("slow", squarings_per_second=1_000_000)
+        assert slow.release_time(puzzle) == pytest.approx(
+            2 * fast.release_time(puzzle)
+        )
+
+    def test_start_delay_shifts_release(self, tlp, rng):
+        puzzle = tlp.seal(b"m", squarings=10_000, rng=rng)
+        prompt = SimulatedMachine("prompt", 1e6, start_delay_seconds=0.0)
+        late = SimulatedMachine("late", 1e6, start_delay_seconds=3600.0)
+        assert late.release_time(puzzle) - prompt.release_time(puzzle) == 3600.0
+
+    def test_spread_helper(self, tlp, rng):
+        puzzle = tlp.seal(b"m", squarings=1000, rng=rng)
+        machines = [
+            SimulatedMachine("a", 1e6),
+            SimulatedMachine("b", 2e6),
+            SimulatedMachine("c", 5e5),
+        ]
+        spread = release_time_spread(puzzle, machines)
+        assert set(spread) == {"a", "b", "c"}
+        assert spread["c"] > spread["a"] > spread["b"]

@@ -1,0 +1,93 @@
+"""Tests for BLS short signatures (the substance of the key updates)."""
+
+import pytest
+
+from repro.core.bls import BLSSignatureScheme
+from repro.core.keys import ServerKeyPair
+
+
+@pytest.fixture(scope="module")
+def scheme(group):
+    return BLSSignatureScheme(group)
+
+
+@pytest.fixture(scope="module")
+def keypair(group, session_rng):
+    return ServerKeyPair.generate(group, session_rng)
+
+
+class TestSignVerify:
+    def test_valid_signature_accepted(self, scheme, keypair):
+        sig = scheme.sign(keypair, b"2026-07-05")
+        assert scheme.verify(keypair.public, b"2026-07-05", sig)
+
+    def test_wrong_message_rejected(self, scheme, keypair):
+        sig = scheme.sign(keypair, b"m1")
+        assert not scheme.verify(keypair.public, b"m2", sig)
+
+    def test_wrong_key_rejected(self, scheme, keypair, group, rng):
+        other = ServerKeyPair.generate(group, rng)
+        sig = scheme.sign(keypair, b"m")
+        assert not scheme.verify(other.public, b"m", sig)
+
+    def test_tampered_signature_rejected(self, scheme, keypair, group):
+        sig = scheme.sign(keypair, b"m")
+        assert not scheme.verify(keypair.public, b"m", group.add(sig, group.generator))
+
+    def test_infinity_rejected(self, scheme, keypair, group):
+        assert not scheme.verify(keypair.public, b"m", group.identity())
+
+    def test_out_of_subgroup_rejected(self, scheme, keypair, group, rng):
+        # A full-curve point outside the q-subgroup must not verify.
+        full = group.ssc.curve.random_point(rng)
+        if group.in_group(full):
+            full = full + group.ssc.curve.random_point(rng)
+        if group.in_group(full):
+            pytest.skip("sampled subgroup point twice")
+        assert not scheme.verify(keypair.public, b"m", full)
+
+    def test_signature_deterministic(self, scheme, keypair):
+        assert scheme.sign(keypair, b"m") == scheme.sign(keypair, b"m")
+
+    def test_signature_is_short(self, scheme, keypair, group):
+        # One G1 point: half the size of a (point, scalar)-style signature.
+        sig = scheme.sign(keypair, b"m")
+        assert len(group.point_to_bytes(sig)) == group.point_bytes
+
+
+class TestAggregation:
+    def test_aggregate_verifies(self, scheme, group, rng):
+        generator = group.random_point(rng)
+        keypairs = [
+            ServerKeyPair.generate(group, rng, generator=generator)
+            for _ in range(3)
+        ]
+        messages = [f"m{i}".encode() for i in range(3)]
+        sigs = [scheme.sign(kp, m) for kp, m in zip(keypairs, messages)]
+        agg = scheme.aggregate(sigs)
+        assert scheme.verify_aggregate(
+            [kp.public for kp in keypairs], messages, agg
+        )
+
+    def test_aggregate_rejects_wrong_message(self, scheme, group, rng):
+        generator = group.random_point(rng)
+        keypairs = [
+            ServerKeyPair.generate(group, rng, generator=generator)
+            for _ in range(2)
+        ]
+        sigs = [scheme.sign(kp, b"m") for kp in keypairs]
+        agg = scheme.aggregate(sigs)
+        assert not scheme.verify_aggregate(
+            [kp.public for kp in keypairs], [b"m", b"other"], agg
+        )
+
+    def test_aggregate_requires_shared_generator(self, scheme, group, rng):
+        keypairs = [ServerKeyPair.generate(group, rng) for _ in range(2)]
+        sigs = [scheme.sign(kp, b"m") for kp in keypairs]
+        agg = scheme.aggregate(sigs)
+        assert not scheme.verify_aggregate(
+            [kp.public for kp in keypairs], [b"m", b"m"], agg
+        )
+
+    def test_empty_aggregate_rejected(self, scheme, group):
+        assert not scheme.verify_aggregate([], [], group.identity())

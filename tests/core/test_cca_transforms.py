@@ -1,0 +1,162 @@
+"""Tests for the FO and REACT chosen-ciphertext transforms."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.fujisaki_okamoto import FOTimedReleaseScheme, FOTRECiphertext
+from repro.core.react import ReactTimedReleaseScheme, ReactTRECiphertext
+from repro.core.keys import UserKeyPair, UserPublicKey
+from repro.errors import (
+    DecryptionError,
+    EncodingError,
+    KeyValidationError,
+    UpdateVerificationError,
+)
+
+RELEASE = b"2029-09-09T09:09Z"
+MESSAGE = b"tamper with me if you can"
+
+
+@pytest.fixture(scope="module")
+def fo(group):
+    return FOTimedReleaseScheme(group)
+
+
+@pytest.fixture(scope="module")
+def react(group):
+    return ReactTimedReleaseScheme(group)
+
+
+class TestFORoundtrip:
+    def test_basic(self, fo, server, user, rng):
+        ct = fo.encrypt(MESSAGE, user.public, server.public_key, RELEASE, rng)
+        update = server.publish_update(RELEASE)
+        assert fo.decrypt(ct, user, update, server.public_key) == MESSAGE
+
+    def test_empty_message(self, fo, server, user, rng):
+        ct = fo.encrypt(b"", user.public, server.public_key, RELEASE, rng)
+        update = server.publish_update(RELEASE)
+        assert fo.decrypt(ct, user, update, server.public_key) == b""
+
+    def test_serialization(self, fo, group, server, user, rng):
+        ct = fo.encrypt(MESSAGE, user.public, server.public_key, RELEASE, rng)
+        assert FOTRECiphertext.from_bytes(group, ct.to_bytes(group)) == ct
+
+    def test_malformed_receiver_key_rejected(self, fo, group, server, rng):
+        forged = UserPublicKey(group.random_point(rng), group.random_point(rng))
+        with pytest.raises(KeyValidationError):
+            fo.encrypt(b"m", forged, server.public_key, RELEASE, rng)
+
+
+class TestFORejectsTampering:
+    @pytest.fixture()
+    def pieces(self, fo, server, user, rng):
+        ct = fo.encrypt(MESSAGE, user.public, server.public_key, RELEASE, rng)
+        update = server.publish_update(RELEASE)
+        return ct, update
+
+    def test_flipped_message_bits(self, fo, user, server, pieces):
+        ct, update = pieces
+        mauled = dataclasses.replace(
+            ct, message_masked=bytes(b ^ 1 for b in ct.message_masked)
+        )
+        with pytest.raises(DecryptionError):
+            fo.decrypt(mauled, user, update, server.public_key)
+
+    def test_flipped_sigma_bits(self, fo, user, server, pieces):
+        ct, update = pieces
+        mauled = dataclasses.replace(
+            ct, sigma_masked=bytes(b ^ 0x80 for b in ct.sigma_masked)
+        )
+        with pytest.raises(DecryptionError):
+            fo.decrypt(mauled, user, update, server.public_key)
+
+    def test_replaced_u_point(self, fo, group, user, server, pieces, rng):
+        ct, update = pieces
+        mauled = dataclasses.replace(ct, u_point=group.random_point(rng))
+        with pytest.raises(DecryptionError):
+            fo.decrypt(mauled, user, update, server.public_key)
+
+    def test_truncated_sigma(self, fo, user, server, pieces):
+        ct, update = pieces
+        mauled = dataclasses.replace(ct, sigma_masked=ct.sigma_masked[:-1])
+        with pytest.raises(DecryptionError):
+            fo.decrypt(mauled, user, update, server.public_key)
+
+    def test_wrong_update_label(self, fo, user, server, pieces):
+        ct, _ = pieces
+        other = server.publish_update(b"not-the-release")
+        with pytest.raises(UpdateVerificationError):
+            fo.decrypt(ct, user, other, server.public_key)
+
+    def test_wrong_receiver_gets_error_not_garbage(
+        self, fo, group, server, pieces, rng
+    ):
+        ct, update = pieces
+        other = UserKeyPair.generate(group, server.public_key, rng)
+        with pytest.raises(DecryptionError):
+            fo.decrypt(ct, other, update, server.public_key)
+
+
+class TestReactRoundtrip:
+    def test_basic(self, react, server, user, rng):
+        ct = react.encrypt(MESSAGE, user.public, server.public_key, RELEASE, rng)
+        update = server.publish_update(RELEASE)
+        assert react.decrypt(ct, user, update, server.public_key) == MESSAGE
+
+    def test_serialization(self, react, group, server, user, rng):
+        ct = react.encrypt(MESSAGE, user.public, server.public_key, RELEASE, rng)
+        restored = ReactTRECiphertext.from_bytes(group, ct.to_bytes(group))
+        assert restored == ct
+
+    def test_bad_blob(self, group):
+        with pytest.raises(EncodingError):
+            ReactTRECiphertext.from_bytes(group, b"\x00\x00\x00\x01\x00\x00\x00\x00")
+
+    def test_time_label_exposed(self, react, server, user, rng):
+        ct = react.encrypt(MESSAGE, user.public, server.public_key, RELEASE, rng)
+        assert ct.time_label == RELEASE
+
+
+class TestReactRejectsTampering:
+    @pytest.fixture()
+    def pieces(self, react, server, user, rng):
+        ct = react.encrypt(MESSAGE, user.public, server.public_key, RELEASE, rng)
+        update = server.publish_update(RELEASE)
+        return ct, update
+
+    def test_flipped_payload(self, react, user, server, pieces):
+        ct, update = pieces
+        mauled = dataclasses.replace(ct, c2=bytes(b ^ 1 for b in ct.c2))
+        with pytest.raises(DecryptionError):
+            react.decrypt(mauled, user, update, server.public_key)
+
+    def test_flipped_checksum(self, react, user, server, pieces):
+        ct, update = pieces
+        mauled = dataclasses.replace(ct, c3=bytes(b ^ 1 for b in ct.c3))
+        with pytest.raises(DecryptionError):
+            react.decrypt(mauled, user, update, server.public_key)
+
+    def test_swapped_asymmetric_part(self, react, server, user, rng, pieces):
+        ct, update = pieces
+        other = react.encrypt(b"other", user.public, server.public_key, RELEASE, rng)
+        frankenstein = dataclasses.replace(ct, c1=other.c1)
+        with pytest.raises(DecryptionError):
+            react.decrypt(frankenstein, user, update, server.public_key)
+
+
+class TestTransformsInteroperability:
+    def test_same_update_serves_all_three_schemes(self, fo, react, group,
+                                                  server, user, rng):
+        from repro.core.tre import TimedReleaseScheme
+
+        plain = TimedReleaseScheme(group)
+        label = b"one-update-three-schemes"
+        c_plain = plain.encrypt(b"p", user.public, server.public_key, label, rng)
+        c_fo = fo.encrypt(b"f", user.public, server.public_key, label, rng)
+        c_react = react.encrypt(b"r", user.public, server.public_key, label, rng)
+        update = server.publish_update(label)
+        assert plain.decrypt(c_plain, user, update) == b"p"
+        assert fo.decrypt(c_fo, user, update, server.public_key) == b"f"
+        assert react.decrypt(c_react, user, update, server.public_key) == b"r"

@@ -1,0 +1,116 @@
+"""Tests for the CA substrate and the §5.3.4 server-change flow."""
+
+import pytest
+
+from repro.core.certification import (
+    Certificate,
+    CertificateAuthority,
+    verify_rekeyed_public_key,
+)
+from repro.core.keys import ServerKeyPair, UserKeyPair, UserPublicKey
+from repro.core.timeserver import PassiveTimeServer
+from repro.errors import KeyValidationError
+
+
+@pytest.fixture(scope="module")
+def ca(group, session_rng):
+    return CertificateAuthority(group, session_rng)
+
+
+@pytest.fixture(scope="module")
+def cert(ca, group, server, user):
+    return ca.issue(b"alice", user.public.a_generator, server.public_key.generator)
+
+
+class TestCertificateAuthority:
+    def test_issue_verify(self, ca, cert):
+        assert ca.verify(cert)
+
+    def test_tampered_subject_rejected(self, ca, cert):
+        forged = Certificate(
+            b"mallory", cert.a_generator, cert.generator, cert.signature
+        )
+        assert not ca.verify(forged)
+
+    def test_tampered_point_rejected(self, ca, cert, group, rng):
+        forged = Certificate(
+            cert.subject, group.random_point(rng), cert.generator, cert.signature
+        )
+        assert not ca.verify(forged)
+
+    def test_ca_independent_of_time_server(self, ca, server):
+        # Different key material entirely.
+        assert ca.public_key != server.public_key
+
+
+class TestServerChange:
+    def test_same_generator_rekey_accepted(self, ca, cert, group, server, user, rng):
+        # New server reuses the old generator (footnote 11's simple case).
+        new_server = ServerKeyPair.generate(
+            group, rng, generator=server.public_key.generator
+        )
+        rekeyed = user.rekey_to_server(group, new_server.public)
+        verify_rekeyed_public_key(group, cert, new_server.public, rekeyed.public, ca)
+
+    def test_different_generator_rekey_accepted(self, ca, cert, group, user, rng):
+        new_server = PassiveTimeServer(group, rng=rng)  # fresh generator G'
+        rekeyed = user.rekey_to_server(group, new_server.public_key)
+        verify_rekeyed_public_key(
+            group, cert, new_server.public_key, rekeyed.public, ca
+        )
+
+    def test_wrong_secret_rejected(self, ca, cert, group, rng):
+        new_server = PassiveTimeServer(group, rng=rng)
+        impostor = UserKeyPair.generate(group, new_server.public_key, rng)
+        with pytest.raises(KeyValidationError):
+            verify_rekeyed_public_key(
+                group, cert, new_server.public_key, impostor.public, ca
+            )
+
+    def test_malformed_as_component_rejected(self, ca, cert, group, user, rng):
+        new_server = PassiveTimeServer(group, rng=rng)
+        rekeyed = user.rekey_to_server(group, new_server.public_key)
+        forged = UserPublicKey(
+            rekeyed.public.a_generator, group.random_point(rng)
+        )
+        with pytest.raises(KeyValidationError):
+            verify_rekeyed_public_key(
+                group, cert, new_server.public_key, forged, ca
+            )
+
+    def test_same_generator_with_changed_aG_rejected(
+        self, ca, cert, group, server, user, rng
+    ):
+        new_server = ServerKeyPair.generate(
+            group, rng, generator=server.public_key.generator
+        )
+        other = UserKeyPair.generate(group, new_server.public, rng)
+        with pytest.raises(KeyValidationError):
+            verify_rekeyed_public_key(
+                group, cert, new_server.public, other.public, ca
+            )
+
+    def test_invalid_certificate_rejected(self, ca, cert, group, user, rng):
+        new_server = PassiveTimeServer(group, rng=rng)
+        rekeyed = user.rekey_to_server(group, new_server.public_key)
+        bad_cert = Certificate(
+            b"alice", cert.a_generator, cert.generator, group.random_point(rng)
+        )
+        with pytest.raises(KeyValidationError):
+            verify_rekeyed_public_key(
+                group, bad_cert, new_server.public_key, rekeyed.public, ca
+            )
+
+    def test_rekeyed_key_actually_works(self, group, user, rng):
+        """End to end: after the server change, TRE under the new server
+        works with the unchanged secret ``a``."""
+        from repro.core.tre import TimedReleaseScheme
+
+        new_server = PassiveTimeServer(group, rng=rng)
+        rekeyed = user.rekey_to_server(group, new_server.public_key)
+        scheme = TimedReleaseScheme(group)
+        ct = scheme.encrypt(
+            b"post-migration", rekeyed.public, new_server.public_key, b"t", rng
+        )
+        update = new_server.publish_update(b"t")
+        assert scheme.decrypt(ct, rekeyed, update) == b"post-migration"

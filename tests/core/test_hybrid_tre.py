@@ -1,0 +1,72 @@
+"""Tests for the KEM-DEM hybrid TRE wrapper."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.hybrid_tre import HybridTimedReleaseScheme, HybridTRECiphertext
+from repro.core.keys import UserKeyPair
+from repro.errors import DecryptionError, EncodingError, UpdateVerificationError
+
+RELEASE = b"2030-05-05T05:05Z"
+
+
+@pytest.fixture(scope="module")
+def hybrid(group):
+    return HybridTimedReleaseScheme(group)
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("size", [0, 1, 100, 10_000])
+    def test_various_sizes(self, hybrid, server, user, rng, size):
+        message = bytes(i % 256 for i in range(size))
+        ct = hybrid.encrypt(message, user.public, server.public_key, RELEASE, rng)
+        update = server.publish_update(RELEASE)
+        assert hybrid.decrypt(ct, user, update, server.public_key) == message
+
+    def test_serialization(self, hybrid, group, server, user, rng):
+        ct = hybrid.encrypt(b"m", user.public, server.public_key, RELEASE, rng)
+        assert HybridTRECiphertext.from_bytes(group, ct.to_bytes(group)) == ct
+
+    def test_bad_blob(self, group):
+        with pytest.raises(EncodingError):
+            HybridTRECiphertext.from_bytes(group, b"\x00\x00\x00\x00")
+
+    def test_overhead_constant_in_message_size(self, hybrid, group, server,
+                                               user, rng):
+        small = hybrid.encrypt(b"", user.public, server.public_key, RELEASE, rng)
+        big = hybrid.encrypt(
+            b"x" * 4096, user.public, server.public_key, RELEASE, rng
+        )
+        assert big.size_bytes(group) - small.size_bytes(group) == 4096
+
+
+class TestAuthenticatedFailure:
+    def test_wrong_update_is_loud(self, hybrid, server, user, rng):
+        # Unlike bare TRE (silent garbage), the DEM MAC catches it.
+        ct = hybrid.encrypt(b"m", user.public, server.public_key, RELEASE, rng)
+        other = server.publish_update(b"another-epoch")
+        with pytest.raises(DecryptionError):
+            hybrid.decrypt(ct, user, other)
+
+    def test_wrong_receiver_is_loud(self, hybrid, group, server, user, rng):
+        ct = hybrid.encrypt(b"m", user.public, server.public_key, RELEASE, rng)
+        update = server.publish_update(RELEASE)
+        other = UserKeyPair.generate(group, server.public_key, rng)
+        with pytest.raises(DecryptionError):
+            hybrid.decrypt(ct, other, update)
+
+    def test_payload_tamper_is_loud(self, hybrid, server, user, rng):
+        ct = hybrid.encrypt(b"mmmm", user.public, server.public_key, RELEASE, rng)
+        update = server.publish_update(RELEASE)
+        mauled = dataclasses.replace(ct, sealed=bytes(b ^ 1 for b in ct.sealed))
+        with pytest.raises(DecryptionError):
+            hybrid.decrypt(mauled, user, update)
+
+    def test_label_swap_is_loud(self, hybrid, server, user, rng):
+        # The time label is bound as associated data.
+        ct = hybrid.encrypt(b"m", user.public, server.public_key, RELEASE, rng)
+        update = server.publish_update(RELEASE)
+        mauled = dataclasses.replace(ct, time_label=b"swapped-label")
+        with pytest.raises((DecryptionError, UpdateVerificationError)):
+            hybrid.decrypt(mauled, user, update, server.public_key)

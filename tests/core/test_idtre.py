@@ -1,0 +1,124 @@
+"""Tests for ID-TRE (§5.2), including the inherent-escrow property."""
+
+import pytest
+
+from repro.core.idtre import IdentityTimedReleaseScheme, IDTRECiphertext
+from repro.core.keys import ServerKeyPair
+from repro.core.timeserver import PassiveTimeServer
+from repro.errors import EncodingError, UpdateVerificationError
+
+RELEASE = b"2027-06-01T00:00Z"
+ALICE = b"alice@example.com"
+
+
+@pytest.fixture(scope="module")
+def scheme(group):
+    return IdentityTimedReleaseScheme(group)
+
+
+@pytest.fixture(scope="module")
+def master(group, session_rng):
+    return ServerKeyPair.generate(group, session_rng)
+
+
+@pytest.fixture(scope="module")
+def id_server(group, master):
+    return PassiveTimeServer(group, keypair=master)
+
+
+@pytest.fixture(scope="module")
+def alice_key(scheme, master):
+    return scheme.extract_user_key(master, ALICE)
+
+
+class TestRoundtrip:
+    def test_basic(self, scheme, id_server, master, alice_key, rng):
+        ct = scheme.encrypt(b"press release", ALICE, master.public, RELEASE, rng)
+        update = id_server.publish_update(RELEASE)
+        assert scheme.decrypt(ct, alice_key, update, master.public) == b"press release"
+
+    def test_no_receiver_certificate_needed(self, scheme, master, rng):
+        # Encryption uses only the identity string and server key.
+        ct = scheme.encrypt(b"m", b"someone-new@example.com", master.public, RELEASE, rng)
+        assert isinstance(ct, IDTRECiphertext)
+
+    def test_long_message(self, scheme, id_server, master, alice_key, rng):
+        message = b"x" * 5000
+        ct = scheme.encrypt(message, ALICE, master.public, RELEASE, rng)
+        update = id_server.publish_update(RELEASE)
+        assert scheme.decrypt(ct, alice_key, update) == message
+
+    def test_serialization_roundtrip(self, scheme, group, master, rng):
+        ct = scheme.encrypt(b"m", ALICE, master.public, RELEASE, rng)
+        assert IDTRECiphertext.from_bytes(group, ct.to_bytes(group)) == ct
+
+    def test_bad_blob_rejected(self, group):
+        with pytest.raises(EncodingError):
+            IDTRECiphertext.from_bytes(group, b"\x00\x00\x00\x00")
+
+
+class TestAccessControl:
+    def test_wrong_identity_key_fails(self, scheme, id_server, master, rng):
+        ct = scheme.encrypt(b"for alice", ALICE, master.public, RELEASE, rng)
+        bob = scheme.extract_user_key(master, b"bob@example.com")
+        update = id_server.publish_update(RELEASE)
+        assert scheme.decrypt(ct, bob, update) != b"for alice"
+
+    def test_wrong_update_fails(self, scheme, id_server, master, alice_key, rng):
+        ct = scheme.encrypt(b"m", ALICE, master.public, RELEASE, rng)
+        other = id_server.publish_update(b"different-time")
+        assert scheme.decrypt(ct, alice_key, other) != b"m"
+
+    def test_label_mismatch_guard(self, scheme, id_server, master, alice_key, rng):
+        ct = scheme.encrypt(b"m", ALICE, master.public, RELEASE, rng)
+        other = id_server.publish_update(b"another")
+        with pytest.raises(UpdateVerificationError):
+            scheme.decrypt(ct, alice_key, other, master.public)
+
+    def test_key_plus_update_combination_required(
+        self, scheme, group, id_server, master, alice_key, rng
+    ):
+        # Neither the identity key alone nor the update alone gives the
+        # decryption point s(H1(ID)+H1(T)).
+        ct = scheme.encrypt(b"m", ALICE, master.public, RELEASE, rng)
+        update = id_server.publish_update(RELEASE)
+        only_id = group.pair(ct.u_point, alice_key.point)
+        only_t = group.pair(ct.u_point, update.point)
+        from repro.encoding import xor_bytes
+
+        for k in (only_id, only_t):
+            mask = group.mask_bytes(k, len(ct.masked), tag="repro:H2")
+            assert xor_bytes(ct.masked, mask) != b"m"
+
+
+class TestInherentEscrow:
+    def test_server_can_decrypt(self, scheme, master, rng):
+        # The paper: "key escrow is inherent" in ID-TRE.
+        ct = scheme.encrypt(b"not private from PKG", ALICE, master.public, RELEASE, rng)
+        assert scheme.server_decrypt(ct, master, ALICE) == b"not private from PKG"
+
+    def test_server_needs_identity_guess(self, scheme, master, rng):
+        ct = scheme.encrypt(b"m", ALICE, master.public, RELEASE, rng)
+        assert scheme.server_decrypt(ct, master, b"wrong-guess") != b"m"
+
+
+class TestUpdateShared:
+    def test_single_update_serves_tre_and_idtre(self, group, master, rng):
+        """One broadcast works for both schemes run against the same
+        server — the update format is scheme-agnostic."""
+        from repro.core.keys import UserKeyPair
+        from repro.core.tre import TimedReleaseScheme
+
+        id_scheme = IdentityTimedReleaseScheme(group)
+        tre_scheme = TimedReleaseScheme(group)
+        server = PassiveTimeServer(group, keypair=master)
+        user = UserKeyPair.generate(group, master.public, rng)
+        alice = id_scheme.extract_user_key(master, ALICE)
+
+        ct_id = id_scheme.encrypt(b"id-tre", ALICE, master.public, b"shared-T", rng)
+        ct_tre = tre_scheme.encrypt(
+            b"plain-tre", user.public, master.public, b"shared-T", rng
+        )
+        update = server.publish_update(b"shared-T")
+        assert id_scheme.decrypt(ct_id, alice, update) == b"id-tre"
+        assert tre_scheme.decrypt(ct_tre, user, update) == b"plain-tre"

@@ -1,0 +1,118 @@
+"""Tests for key insulation / epoch keys (§5.3.3)."""
+
+import pytest
+
+from repro.core.key_insulation import (
+    EpochKey,
+    InsecureDevice,
+    SafeDevice,
+    decrypt_with_epoch_key,
+)
+from repro.core.timeserver import TimeBoundKeyUpdate, epoch_label
+from repro.core.tre import TimedReleaseScheme
+from repro.errors import UpdateVerificationError
+
+
+@pytest.fixture(scope="module")
+def scheme(group):
+    return TimedReleaseScheme(group)
+
+
+@pytest.fixture(scope="module")
+def devices(group, server, user):
+    return SafeDevice(group, user, server.public_key), InsecureDevice(group)
+
+
+class TestEpochKeyDerivation:
+    def test_derivation_and_decryption(self, scheme, group, server, user,
+                                       devices, rng):
+        safe, insecure = devices
+        label = epoch_label(1)
+        ct = scheme.encrypt(b"epoch mail", user.public, server.public_key, label, rng)
+        update = server.publish_update(label)
+        epoch_key = safe.derive_epoch_key(update)
+        insecure.install_epoch_key(epoch_key)
+        assert insecure.decrypt(ct) == b"epoch mail"
+
+    def test_forged_update_refused_by_safe_device(self, group, server, devices, rng):
+        safe, _ = devices
+        forged = TimeBoundKeyUpdate(epoch_label(2), group.random_point(rng))
+        with pytest.raises(UpdateVerificationError):
+            safe.derive_epoch_key(forged)
+
+    def test_epoch_key_algebra(self, group, server, user, devices):
+        # K_i = a * I_T = a*s*H1(T) regardless of scalar ordering.
+        safe, _ = devices
+        label = epoch_label(3)
+        update = server.publish_update(label)
+        epoch_key = safe.derive_epoch_key(update)
+        expected = group.mul(update.point, user.private)
+        assert epoch_key.point == expected
+
+
+class TestInsulation:
+    def test_epoch_key_only_opens_its_epoch(self, scheme, group, server, user,
+                                            devices, rng):
+        safe, _ = devices
+        label_a, label_b = epoch_label(10), epoch_label(11)
+        ct_b = scheme.encrypt(b"B-mail", user.public, server.public_key, label_b, rng)
+        key_a = safe.derive_epoch_key(server.publish_update(label_a))
+        # Direct misuse is refused by the label guard.
+        with pytest.raises(UpdateVerificationError):
+            decrypt_with_epoch_key(group, ct_b, key_a)
+        # Even forcing the label through yields garbage, not plaintext.
+        forced = EpochKey(label_b, key_a.point)
+        assert decrypt_with_epoch_key(group, ct_b, forced) != b"B-mail"
+
+    def test_device_without_key_refuses(self, scheme, group, server, user, rng):
+        insecure = InsecureDevice(group)
+        ct = scheme.encrypt(
+            b"m", user.public, server.public_key, epoch_label(20), rng
+        )
+        with pytest.raises(UpdateVerificationError):
+            insecure.decrypt(ct)
+
+    def test_compromise_containment(self, scheme, group, server, user, rng):
+        """A thief with epoch keys 0..2 reads epochs 0..2, nothing later,
+        and cannot reconstruct the long-term secret's action on other
+        epochs."""
+        safe = SafeDevice(group, user, server.public_key)
+        stolen = InsecureDevice(group)
+        messages = {}
+        ciphertexts = {}
+        for i in range(5):
+            label = epoch_label(100 + i)
+            messages[label] = f"mail-{i}".encode()
+            ciphertexts[label] = scheme.encrypt(
+                messages[label], user.public, server.public_key, label, rng
+            )
+        for i in range(3):
+            label = epoch_label(100 + i)
+            stolen.install_epoch_key(
+                safe.derive_epoch_key(server.publish_update(label))
+            )
+        for i in range(3):
+            label = epoch_label(100 + i)
+            assert stolen.decrypt(ciphertexts[label]) == messages[label]
+        for i in range(3, 5):
+            label = epoch_label(100 + i)
+            with pytest.raises(UpdateVerificationError):
+                stolen.decrypt(ciphertexts[label])
+
+    def test_drop_epoch_key(self, group, server, user):
+        safe = SafeDevice(group, user, server.public_key)
+        device = InsecureDevice(group)
+        label = epoch_label(200)
+        device.install_epoch_key(
+            safe.derive_epoch_key(server.publish_update(label))
+        )
+        assert device.installed_epochs() == [label]
+        device.drop_epoch_key(label)
+        assert device.installed_epochs() == []
+        device.drop_epoch_key(label)  # Idempotent.
+
+    def test_derivation_counter(self, group, server, user):
+        safe = SafeDevice(group, user, server.public_key)
+        before = safe.derivations
+        safe.derive_epoch_key(server.publish_update(epoch_label(300)))
+        assert safe.derivations == before + 1

@@ -1,0 +1,87 @@
+"""Tests for server/user key generation and well-formedness checks."""
+
+import pytest
+
+from repro.core.keys import ServerKeyPair, ServerPublicKey, UserKeyPair, UserPublicKey
+from repro.errors import EncodingError, KeyValidationError
+
+
+class TestServerKeys:
+    def test_public_key_consistent(self, group, rng):
+        kp = ServerKeyPair.generate(group, rng)
+        assert kp.public.s_generator == group.mul(kp.public.generator, kp.private)
+
+    def test_custom_generator(self, group, rng):
+        custom = group.random_point(rng)
+        kp = ServerKeyPair.generate(group, rng, generator=custom)
+        assert kp.public.generator == custom
+
+    def test_serialization_roundtrip(self, group, rng):
+        kp = ServerKeyPair.generate(group, rng)
+        blob = kp.public.to_bytes(group)
+        assert ServerPublicKey.from_bytes(group, blob) == kp.public
+
+    def test_bad_blob_rejected(self, group):
+        with pytest.raises(EncodingError):
+            ServerPublicKey.from_bytes(group, b"\x00\x00\x00\x01" + b"\x00\x00\x00\x00")
+
+
+class TestUserKeys:
+    def test_structure(self, group, server, rng):
+        kp = UserKeyPair.generate(group, server.public_key, rng)
+        pk_s = server.public_key
+        assert kp.public.a_generator == group.mul(pk_s.generator, kp.private)
+        assert kp.public.as_generator == group.mul(pk_s.s_generator, kp.private)
+
+    def test_well_formed_accepts_honest_key(self, group, server, user):
+        assert user.public.verify_well_formed(group, server.public_key)
+
+    def test_well_formed_rejects_malformed_key(self, group, server, rng):
+        honest = UserKeyPair.generate(group, server.public_key, rng)
+        # Replace asG with an unrelated point: receiver could then skip
+        # the update — exactly what Encrypt step 1 must catch.
+        forged = UserPublicKey(
+            honest.public.a_generator, group.random_point(rng)
+        )
+        assert not forged.verify_well_formed(group, server.public_key)
+        with pytest.raises(KeyValidationError):
+            forged.ensure_well_formed(group, server.public_key)
+
+    def test_well_formed_rejects_swapped_components(self, group, server, user):
+        swapped = UserPublicKey(
+            user.public.as_generator, user.public.a_generator
+        )
+        assert not swapped.verify_well_formed(group, server.public_key)
+
+    def test_zero_secret_rejected(self, group, server):
+        with pytest.raises(KeyValidationError):
+            UserKeyPair.from_secret(group, server.public_key, 0)
+        with pytest.raises(KeyValidationError):
+            UserKeyPair.from_secret(group, server.public_key, group.q)
+
+    def test_from_password_deterministic(self, group, server):
+        k1 = UserKeyPair.from_password(group, server.public_key, "hunter2")
+        k2 = UserKeyPair.from_password(group, server.public_key, "hunter2")
+        assert k1.private == k2.private
+        assert k1.public == k2.public
+
+    def test_from_password_distinct_passwords(self, group, server):
+        k1 = UserKeyPair.from_password(group, server.public_key, "alpha")
+        k2 = UserKeyPair.from_password(group, server.public_key, "beta")
+        assert k1.private != k2.private
+
+    def test_password_key_is_well_formed(self, group, server):
+        kp = UserKeyPair.from_password(group, server.public_key, "pw")
+        assert kp.public.verify_well_formed(group, server.public_key)
+
+    def test_serialization_roundtrip(self, group, user):
+        blob = user.public.to_bytes(group)
+        assert UserPublicKey.from_bytes(group, blob) == user.public
+
+    def test_rekey_to_server(self, group, server, user, rng):
+        from repro.core.keys import ServerKeyPair
+
+        new_server = ServerKeyPair.generate(group, rng)
+        rekeyed = user.rekey_to_server(group, new_server.public)
+        assert rekeyed.private == user.private
+        assert rekeyed.public.verify_well_formed(group, new_server.public)

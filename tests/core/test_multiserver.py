@@ -1,0 +1,140 @@
+"""Tests for multi-server TRE (§5.3.5)."""
+
+import pytest
+
+from repro.core.multiserver import (
+    MultiServerCiphertext,
+    MultiServerTimedReleaseScheme,
+    MultiServerUserKeyPair,
+)
+from repro.core.timeserver import PassiveTimeServer
+from repro.errors import (
+    EncodingError,
+    KeyValidationError,
+    ParameterError,
+    UpdateVerificationError,
+)
+
+RELEASE = b"2031-07-07T07:07Z"
+
+
+@pytest.fixture(scope="module")
+def servers(group, session_rng):
+    return [PassiveTimeServer(group, rng=session_rng) for _ in range(3)]
+
+
+@pytest.fixture(scope="module")
+def scheme(group, servers):
+    return MultiServerTimedReleaseScheme(group, [s.public_key for s in servers])
+
+
+@pytest.fixture(scope="module")
+def ms_user(group, servers, session_rng):
+    return MultiServerUserKeyPair.generate(
+        group, [s.public_key for s in servers], session_rng
+    )
+
+
+class TestRoundtrip:
+    def test_basic(self, scheme, servers, ms_user, rng):
+        ct = scheme.encrypt(b"split trust", ms_user.public, RELEASE, rng)
+        updates = [s.publish_update(RELEASE) for s in servers]
+        assert scheme.decrypt(ct, ms_user.private, updates) == b"split trust"
+
+    def test_single_server_degenerates_to_tre(self, group, rng):
+        server = PassiveTimeServer(group, rng=rng)
+        scheme = MultiServerTimedReleaseScheme(group, [server.public_key])
+        user = MultiServerUserKeyPair.generate(group, [server.public_key], rng)
+        ct = scheme.encrypt(b"n=1", user.public, RELEASE, rng)
+        assert len(ct.u_points) == 1
+        update = server.publish_update(RELEASE)
+        assert scheme.decrypt(ct, user.private, [update]) == b"n=1"
+
+    def test_serialization(self, scheme, group, ms_user, rng):
+        ct = scheme.encrypt(b"m", ms_user.public, RELEASE, rng)
+        assert MultiServerCiphertext.from_bytes(group, ct.to_bytes(group)) == ct
+
+    def test_ciphertext_grows_linearly(self, group, rng):
+        sizes = []
+        for n in (1, 2, 4):
+            servers = [PassiveTimeServer(group, rng=rng) for _ in range(n)]
+            scheme = MultiServerTimedReleaseScheme(
+                group, [s.public_key for s in servers]
+            )
+            user = MultiServerUserKeyPair.generate(
+                group, [s.public_key for s in servers], rng
+            )
+            ct = scheme.encrypt(b"m" * 16, user.public, RELEASE, rng)
+            sizes.append(ct.size_bytes(group))
+        assert sizes[1] - sizes[0] == pytest.approx(
+            (sizes[2] - sizes[1]) / 2, abs=8
+        )
+
+
+class TestCollusionResistance:
+    def test_missing_one_update_fails(self, scheme, servers, ms_user, rng):
+        ct = scheme.encrypt(b"m", ms_user.public, RELEASE, rng)
+        updates = [s.publish_update(RELEASE) for s in servers]
+        with pytest.raises(UpdateVerificationError):
+            scheme.decrypt(ct, ms_user.private, updates[:-1])
+
+    def test_duplicated_update_fails(self, scheme, servers, ms_user, rng):
+        ct = scheme.encrypt(b"m", ms_user.public, RELEASE, rng)
+        updates = [s.publish_update(RELEASE) for s in servers]
+        bad = [updates[0], updates[0], updates[2]]
+        with pytest.raises(UpdateVerificationError):
+            scheme.decrypt(ct, ms_user.private, bad)
+
+    def test_unverified_duplicate_gives_garbage(self, scheme, servers, ms_user, rng):
+        ct = scheme.encrypt(b"m", ms_user.public, RELEASE, rng)
+        updates = [s.publish_update(RELEASE) for s in servers]
+        bad = [updates[0], updates[0], updates[2]]
+        assert scheme.decrypt(ct, ms_user.private, bad, verify_updates=False) != b"m"
+
+    def test_wrong_label_update_fails(self, scheme, servers, ms_user, rng):
+        ct = scheme.encrypt(b"m", ms_user.public, RELEASE, rng)
+        updates = [s.publish_update(RELEASE) for s in servers[:-1]]
+        updates.append(servers[-1].publish_update(b"some-other-time"))
+        with pytest.raises(UpdateVerificationError):
+            scheme.decrypt(ct, ms_user.private, updates)
+
+
+class TestKeyValidation:
+    def test_component_count_checked(self, scheme, group, servers, rng):
+        short = MultiServerUserKeyPair.generate(
+            group, [servers[0].public_key], rng
+        )
+        with pytest.raises(KeyValidationError):
+            scheme.encrypt(b"m", short.public, RELEASE, rng)
+
+    def test_mixed_secret_components_rejected(self, scheme, group, servers, rng):
+        u1 = MultiServerUserKeyPair.generate(
+            group, [s.public_key for s in servers], rng
+        )
+        u2 = MultiServerUserKeyPair.generate(
+            group, [s.public_key for s in servers], rng
+        )
+        frankenstein = (u1.components[0], u2.components[1], u1.components[2])
+        with pytest.raises(KeyValidationError):
+            scheme.encrypt(b"m", frankenstein, RELEASE, rng)
+
+    def test_malformed_component_rejected(self, scheme, group, servers, ms_user, rng):
+        from repro.core.keys import UserPublicKey
+
+        bad = (
+            UserPublicKey(group.random_point(rng), group.random_point(rng)),
+        ) + ms_user.components[1:]
+        with pytest.raises(KeyValidationError):
+            scheme.encrypt(b"m", bad, RELEASE, rng)
+
+    def test_empty_server_list_rejected(self, group):
+        with pytest.raises(ParameterError):
+            MultiServerTimedReleaseScheme(group, [])
+
+    def test_ciphertext_server_count_mismatch(self, scheme, group, servers,
+                                              ms_user, rng):
+        ct = scheme.encrypt(b"m", ms_user.public, RELEASE, rng)
+        updates = [s.publish_update(RELEASE) for s in servers]
+        truncated = MultiServerCiphertext(ct.u_points[:2], ct.masked, ct.time_label)
+        with pytest.raises((EncodingError, UpdateVerificationError)):
+            scheme.decrypt(truncated, ms_user.private, updates)

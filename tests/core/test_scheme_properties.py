@@ -1,0 +1,126 @@
+"""Property-based tests across the encryption schemes (hypothesis).
+
+Each property runs a full encrypt/decrypt cycle on toy64, so example
+counts are kept deliberately small; the properties target invariants
+rather than coverage (the unit suites do that).
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.fujisaki_okamoto import FOTimedReleaseScheme
+from repro.core.hybrid_tre import HybridTimedReleaseScheme
+from repro.core.keys import UserKeyPair
+from repro.core.policylock import PolicyLockScheme
+from repro.core.tre import TimedReleaseScheme
+from repro.crypto.rng import seeded_rng
+
+scheme_settings = settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[
+        HealthCheck.too_slow,
+        HealthCheck.function_scoped_fixture,
+    ],
+)
+
+messages = st.binary(max_size=100)
+labels = st.binary(min_size=1, max_size=24)
+seeds = st.integers(0, 2**32 - 1)
+
+
+@scheme_settings
+@given(message=messages, label=labels, seed=seeds)
+def test_fo_roundtrip_property(group, server, user, message, label, seed):
+    rng = seeded_rng(seed)
+    scheme = FOTimedReleaseScheme(group)
+    ct = scheme.encrypt(
+        message, user.public, server.public_key, label, rng,
+        verify_receiver_key=False,
+    )
+    update = server.publish_update(label)
+    assert scheme.decrypt(ct, user, update, server.public_key) == message
+
+
+@scheme_settings
+@given(message=messages, label=labels, seed=seeds)
+def test_hybrid_roundtrip_property(group, server, user, message, label, seed):
+    rng = seeded_rng(seed)
+    scheme = HybridTimedReleaseScheme(group)
+    ct = scheme.encrypt(
+        message, user.public, server.public_key, label, rng,
+        verify_receiver_key=False,
+    )
+    update = server.publish_update(label)
+    assert scheme.decrypt(ct, user, update) == message
+
+
+@scheme_settings
+@given(seed=seeds, label=labels)
+def test_kem_shared_secret_agreement(group, server, user, seed, label):
+    rng = seeded_rng(seed)
+    scheme = TimedReleaseScheme(group)
+    key, u_point = scheme.encapsulate(
+        user.public, server.public_key, label, rng, verify_receiver_key=False
+    )
+    update = server.publish_update(label)
+    assert scheme.decapsulate(u_point, user, update) == key
+
+
+@scheme_settings
+@given(
+    message=messages,
+    conditions=st.lists(
+        st.binary(min_size=1, max_size=12), min_size=1, max_size=3, unique=True
+    ),
+    seed=seeds,
+)
+def test_policy_conjunction_property(group, server, user, message, conditions,
+                                     seed):
+    rng = seeded_rng(seed)
+    scheme = PolicyLockScheme(group)
+    ct = scheme.encrypt_all(
+        message, user.public, server.public_key, conditions, rng,
+        verify_receiver_key=False,
+    )
+    attestations = [server.publish_update(c) for c in conditions]
+    assert scheme.decrypt_all(ct, user, attestations) == message
+
+
+@scheme_settings
+@given(seed=seeds, label=labels)
+def test_different_receivers_different_masks(group, server, seed, label):
+    """Two receivers' pairing-derived keys for the same (r, T) message
+    never coincide — ciphertexts are receiver-specific."""
+    rng = seeded_rng(seed)
+    scheme = TimedReleaseScheme(group)
+    u1 = UserKeyPair.generate(group, server.public_key, rng)
+    u2 = UserKeyPair.generate(group, server.public_key, rng)
+    message = bytes(32)
+    ct = scheme.encrypt(
+        message, u1.public, server.public_key, label, rng,
+        verify_receiver_key=False,
+    )
+    update = server.publish_update(label)
+    assert scheme.decrypt(ct, u1, update) == message
+    assert scheme.decrypt(ct, u2, update) != message
+
+
+@scheme_settings
+@given(seed=seeds)
+def test_update_binds_to_exact_label(group, server, seed):
+    """Any single-byte perturbation of the time label yields an update
+    useless for the original ciphertext."""
+    rng = seeded_rng(seed)
+    scheme = TimedReleaseScheme(group)
+    user = UserKeyPair.generate(group, server.public_key, rng)
+    label = b"exact-label"
+    message = b"bound to label"
+    ct = scheme.encrypt(
+        message, user.public, server.public_key, label, rng,
+        verify_receiver_key=False,
+    )
+    perturbed = bytearray(label)
+    perturbed[seed % len(label)] ^= 1 + (seed % 255)
+    wrong = server.publish_update(bytes(perturbed))
+    if bytes(perturbed) != label:
+        assert scheme.decrypt(ct, user, wrong) != message

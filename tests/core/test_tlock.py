@@ -1,0 +1,158 @@
+"""Tests for the drand-style beacon and the Type-3 timed release schemes."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.tlock import (
+    DrandStyleBeacon,
+    RoundSignature,
+    TimelockEncryption,
+    Type3TimedRelease,
+    round_label,
+)
+from repro.crypto.rng import seeded_rng
+from repro.errors import (
+    DecryptionError,
+    KeyValidationError,
+    UpdateNotAvailableError,
+    UpdateVerificationError,
+)
+from repro.pairing.bn254 import bn254
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return bn254()
+
+
+@pytest.fixture(scope="module")
+def beacon(engine):
+    return DrandStyleBeacon(engine, seeded_rng("beacon"))
+
+
+@pytest.fixture(scope="module")
+def tlock(engine):
+    return TimelockEncryption(engine)
+
+
+@pytest.fixture(scope="module")
+def t3(engine):
+    return Type3TimedRelease(engine)
+
+
+@pytest.fixture(scope="module")
+def receiver(t3, beacon):
+    return t3.generate_user_keypair(beacon.public_key, seeded_rng("recv"))
+
+
+class TestBeacon:
+    def test_round_signature_verifies(self, beacon):
+        sig = beacon.publish_round(42)
+        assert beacon.verify(sig)
+
+    def test_signature_deterministic_per_round(self, beacon):
+        assert beacon.publish_round(42) == beacon.publish_round(42)
+
+    def test_forged_signature_rejected(self, engine, beacon):
+        sig = beacon.publish_round(43)
+        forged = RoundSignature(43, sig.point + engine.g1)
+        assert not beacon.verify(forged)
+
+    def test_relabeled_signature_rejected(self, beacon):
+        sig = beacon.publish_round(44)
+        assert not beacon.verify(RoundSignature(45, sig.point))
+
+    def test_archive(self, beacon):
+        beacon.publish_round(7)
+        assert beacon.lookup(7).round_number == 7
+        with pytest.raises(UpdateNotAvailableError):
+            beacon.lookup(999_999)
+
+    def test_round_label_fixed_width(self):
+        assert len(round_label(0)) == 8
+        assert len(round_label(2**62)) == 8
+        assert round_label(1) != round_label(256)
+
+
+class TestTimelockEncryption:
+    def test_roundtrip(self, tlock, beacon):
+        rng = seeded_rng("t1")
+        ct = tlock.encrypt(b"for round 100", beacon.public_key, 100, rng)
+        sig = beacon.publish_round(100)
+        assert tlock.decrypt(ct, sig) == b"for round 100"
+
+    def test_wrong_round_signature_rejected(self, tlock, beacon):
+        rng = seeded_rng("t2")
+        ct = tlock.encrypt(b"m", beacon.public_key, 200, rng)
+        with pytest.raises(UpdateVerificationError):
+            tlock.decrypt(ct, beacon.publish_round(201))
+
+    def test_forged_signature_fails_aead(self, engine, tlock, beacon):
+        rng = seeded_rng("t3")
+        ct = tlock.encrypt(b"m", beacon.public_key, 300, rng)
+        forged = RoundSignature(300, engine.g1 * 12345)
+        with pytest.raises(DecryptionError):
+            tlock.decrypt(ct, forged)
+
+    def test_anyone_with_signature_decrypts(self, tlock, beacon):
+        """tlock is identity-based on the round: the signature IS the
+        (universal) decryption key — the escrow stance of ID-TRE."""
+        rng = seeded_rng("t4")
+        ct = tlock.encrypt(b"public at round 400", beacon.public_key, 400, rng)
+        sig = beacon.publish_round(400)
+        # A completely unrelated party:
+        third_party = TimelockEncryption(tlock.engine)
+        assert third_party.decrypt(ct, sig) == b"public at round 400"
+
+
+class TestType3TimedRelease:
+    def test_well_formed_key(self, engine, receiver, beacon):
+        assert receiver.verify_well_formed(engine, beacon.public_key)
+
+    def test_malformed_key_rejected_at_encrypt(self, engine, t3, beacon):
+        rng = seeded_rng("t5")
+        bad = (engine.g1 * 3, beacon.public_key * 4)  # different scalars
+        with pytest.raises(KeyValidationError):
+            t3.encrypt(b"m", bad, beacon.public_key, 500, rng)
+
+    def test_roundtrip(self, t3, beacon, receiver):
+        rng = seeded_rng("t6")
+        ct = t3.encrypt(
+            b"receiver bound", receiver, beacon.public_key, 600, rng,
+            verify_receiver_key=False,
+        )
+        sig = beacon.publish_round(600)
+        assert t3.decrypt(ct, receiver, sig) == b"receiver bound"
+
+    def test_signature_alone_insufficient(self, t3, beacon, receiver):
+        """Unlike tlock, the round signature without ``a`` opens nothing
+        — the paper's receiver privacy carried onto Type-3."""
+        rng = seeded_rng("t7")
+        ct = t3.encrypt(
+            b"private", receiver, beacon.public_key, 700, rng,
+            verify_receiver_key=False,
+        )
+        sig = beacon.publish_round(700)
+        with pytest.raises(DecryptionError):
+            t3.decrypt(ct, 1, sig)  # "a = 1" = anyone with public data
+
+    def test_wrong_round_rejected(self, t3, beacon, receiver):
+        rng = seeded_rng("t8")
+        ct = t3.encrypt(
+            b"m", receiver, beacon.public_key, 800, rng,
+            verify_receiver_key=False,
+        )
+        with pytest.raises(UpdateVerificationError):
+            t3.decrypt(ct, receiver, beacon.publish_round(801))
+
+    def test_tampered_payload_rejected(self, t3, beacon, receiver):
+        rng = seeded_rng("t9")
+        ct = t3.encrypt(
+            b"mmmm", receiver, beacon.public_key, 900, rng,
+            verify_receiver_key=False,
+        )
+        sig = beacon.publish_round(900)
+        mauled = dataclasses.replace(ct, sealed=bytes(b ^ 1 for b in ct.sealed))
+        with pytest.raises(DecryptionError):
+            t3.decrypt(mauled, receiver, sig)

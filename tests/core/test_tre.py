@@ -1,0 +1,147 @@
+"""Functional tests for the TRE scheme (§5.1)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.keys import UserKeyPair, UserPublicKey
+from repro.core.tre import TimedReleaseScheme, TRECiphertext
+from repro.crypto.rng import seeded_rng
+from repro.errors import (
+    EncodingError,
+    KeyValidationError,
+    UpdateVerificationError,
+)
+
+RELEASE = b"2027-03-01T12:00Z"
+
+
+@pytest.fixture(scope="module")
+def scheme(group):
+    return TimedReleaseScheme(group)
+
+
+class TestRoundtrip:
+    def test_basic(self, scheme, group, server, user, rng):
+        message = b"sealed bid: $123,456"
+        ct = scheme.encrypt(message, user.public, server.public_key, RELEASE, rng)
+        update = server.publish_update(RELEASE)
+        assert scheme.decrypt(ct, user, update, server.public_key) == message
+
+    def test_empty_message(self, scheme, server, user, rng):
+        ct = scheme.encrypt(b"", user.public, server.public_key, RELEASE, rng)
+        update = server.publish_update(RELEASE)
+        assert scheme.decrypt(ct, user, update) == b""
+
+    def test_long_message(self, scheme, server, user, rng):
+        message = bytes(range(256)) * 40
+        ct = scheme.encrypt(message, user.public, server.public_key, RELEASE, rng)
+        update = server.publish_update(RELEASE)
+        assert scheme.decrypt(ct, user, update) == message
+
+    def test_private_scalar_accepted_directly(self, scheme, server, user, rng):
+        ct = scheme.encrypt(b"m", user.public, server.public_key, RELEASE, rng)
+        update = server.publish_update(RELEASE)
+        assert scheme.decrypt(ct, user.private, update) == b"m"
+
+    def test_randomized_ciphertexts(self, scheme, server, user, rng):
+        c1 = scheme.encrypt(b"m", user.public, server.public_key, RELEASE, rng)
+        c2 = scheme.encrypt(b"m", user.public, server.public_key, RELEASE, rng)
+        assert c1.u_point != c2.u_point
+        assert c1.masked != c2.masked
+
+    def test_both_families(self, group_b, rng):
+        from repro.core.timeserver import PassiveTimeServer
+
+        scheme_b = TimedReleaseScheme(group_b)
+        server_b = PassiveTimeServer(group_b, rng=rng)
+        user_b = UserKeyPair.generate(group_b, server_b.public_key, rng)
+        ct = scheme_b.encrypt(b"fam-B", user_b.public, server_b.public_key, RELEASE, rng)
+        update = server_b.publish_update(RELEASE)
+        assert scheme_b.decrypt(ct, user_b, update, server_b.public_key) == b"fam-B"
+
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow,
+                                     HealthCheck.function_scoped_fixture])
+    @given(message=st.binary(max_size=200), label=st.binary(min_size=1, max_size=40))
+    def test_roundtrip_property(self, scheme, group, server, user, message, label):
+        rng = seeded_rng(hash((message, label)) & 0xFFFF)
+        ct = scheme.encrypt(message, user.public, server.public_key, label, rng)
+        update = server.publish_update(label)
+        assert scheme.decrypt(ct, user, update, server.public_key) == message
+
+
+class TestEncryptStepOne:
+    def test_malformed_receiver_key_rejected(self, scheme, group, server, rng):
+        forged = UserPublicKey(group.random_point(rng), group.random_point(rng))
+        with pytest.raises(KeyValidationError):
+            scheme.encrypt(b"m", forged, server.public_key, RELEASE, rng)
+
+    def test_check_can_be_skipped(self, scheme, group, server, rng):
+        forged = UserPublicKey(group.random_point(rng), group.random_point(rng))
+        # Skipping the check is the caller's responsibility.
+        scheme.encrypt(
+            b"m", forged, server.public_key, RELEASE, rng, verify_receiver_key=False
+        )
+
+
+class TestDecryptGuards:
+    def test_mismatched_update_label_raises(self, scheme, server, user, rng):
+        ct = scheme.encrypt(b"m", user.public, server.public_key, RELEASE, rng)
+        other = server.publish_update(b"some-other-label")
+        with pytest.raises(UpdateVerificationError):
+            scheme.decrypt(ct, user, other, server.public_key)
+
+    def test_forged_update_raises(self, scheme, group, server, user, rng):
+        from repro.core.timeserver import TimeBoundKeyUpdate
+
+        ct = scheme.encrypt(b"m", user.public, server.public_key, RELEASE, rng)
+        forged = TimeBoundKeyUpdate(RELEASE, group.random_point(rng))
+        with pytest.raises(UpdateVerificationError):
+            scheme.decrypt(ct, user, forged, server.public_key)
+
+    def test_unverified_path_returns_garbage_not_error(self, scheme, server, user, rng):
+        # The bare paper scheme has no integrity: a wrong update just
+        # produces a wrong mask.
+        ct = scheme.encrypt(b"m", user.public, server.public_key, RELEASE, rng)
+        other = server.publish_update(b"wrong")
+        assert scheme.decrypt(ct, user, other) != b"m"
+
+
+class TestSerialization:
+    def test_ciphertext_roundtrip(self, scheme, group, server, user, rng):
+        ct = scheme.encrypt(b"msg", user.public, server.public_key, RELEASE, rng)
+        blob = ct.to_bytes(group)
+        restored = TRECiphertext.from_bytes(group, blob)
+        assert restored == ct
+        update = server.publish_update(RELEASE)
+        assert scheme.decrypt(restored, user, update) == b"msg"
+
+    def test_bad_blob_rejected(self, group):
+        with pytest.raises(EncodingError):
+            TRECiphertext.from_bytes(group, b"\x00\x00\x00\x01\x00\x00\x00\x00")
+
+    def test_size_accounting(self, scheme, group, server, user, rng):
+        ct = scheme.encrypt(b"x" * 32, user.public, server.public_key, RELEASE, rng)
+        assert ct.size_bytes(group) == len(ct.to_bytes(group))
+        # One G1 point of overhead (plus framing + label).
+        assert ct.size_bytes(group) < group.point_bytes + 32 + len(RELEASE) + 32
+
+
+class TestKemView:
+    def test_encapsulate_decapsulate(self, scheme, server, user, rng):
+        key, u_point = scheme.encapsulate(
+            user.public, server.public_key, RELEASE, rng
+        )
+        update = server.publish_update(RELEASE)
+        assert scheme.decapsulate(u_point, user, update) == key
+
+    def test_key_length(self, scheme, server, user, rng):
+        key, _ = scheme.encapsulate(
+            user.public, server.public_key, RELEASE, rng, key_bytes=48
+        )
+        assert len(key) == 48
+
+    def test_kem_keys_fresh(self, scheme, server, user, rng):
+        k1, _ = scheme.encapsulate(user.public, server.public_key, RELEASE, rng)
+        k2, _ = scheme.encapsulate(user.public, server.public_key, RELEASE, rng)
+        assert k1 != k2

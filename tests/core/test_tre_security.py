@@ -1,0 +1,146 @@
+"""Security-model tests for TRE: the §5.1 proof sketch, operationally.
+
+Each numbered claim in the paper's security discussion becomes a test:
+decryption must fail without the right update, without the private key,
+for other users, and for the (non-colluding) server itself.
+"""
+
+import pytest
+
+from repro.core.keys import UserKeyPair
+from repro.core.timeserver import PassiveTimeServer, TimeBoundKeyUpdate
+from repro.core.tre import H2_TAG, TimedReleaseScheme
+from repro.encoding import xor_bytes
+
+RELEASE = b"2028-01-01T00:00Z"
+MESSAGE = b"the secret plans (32 bytes long)"
+
+
+@pytest.fixture(scope="module")
+def scheme(group):
+    return TimedReleaseScheme(group)
+
+
+@pytest.fixture(scope="module")
+def ciphertext(scheme, server, user, session_rng):
+    return scheme.encrypt(
+        MESSAGE, user.public, server.public_key, RELEASE, session_rng
+    )
+
+
+class TestTimeLocking:
+    """Claim 5: without I_T, the receiver cannot decrypt — even with a."""
+
+    def test_no_update_no_plaintext(self, scheme, group, server, user, ciphertext):
+        # The receiver tries every *other* published update it can find.
+        for label in (b"early-1", b"early-2", b"early-3"):
+            update = server.publish_update(label)
+            assert scheme.decrypt(ciphertext, user, update) != MESSAGE
+
+    def test_update_for_adjacent_times_useless(self, scheme, server, user, ciphertext):
+        # Claim 4: s·H1(T') for T' != T gives nothing about s·H1(T).
+        near_misses = [RELEASE + b" ", b" " + RELEASE, RELEASE[:-1], RELEASE.lower()]
+        for label in near_misses:
+            update = server.publish_update(label)
+            assert scheme.decrypt(ciphertext, user, update) != MESSAGE
+
+    def test_correct_update_opens(self, scheme, server, user, ciphertext):
+        update = server.publish_update(RELEASE)
+        assert scheme.decrypt(ciphertext, user, update) == MESSAGE
+
+    def test_forged_update_point_useless(self, scheme, group, server, user,
+                                         ciphertext, rng):
+        for _ in range(5):
+            forged = TimeBoundKeyUpdate(RELEASE, group.random_point(rng))
+            assert scheme.decrypt(ciphertext, user, forged) != MESSAGE
+
+
+class TestPrivateKeyRequired:
+    """The update alone is public — it must not decrypt anything."""
+
+    def test_wrong_private_key(self, scheme, group, server, user, ciphertext, rng):
+        update = server.publish_update(RELEASE)
+        for _ in range(5):
+            other = UserKeyPair.generate(group, server.public_key, rng)
+            assert other.private != user.private
+            assert scheme.decrypt(ciphertext, other, update) != MESSAGE
+
+    def test_unit_private_key(self, scheme, server, ciphertext):
+        # A "receiver" with a = 1 is just anyone holding public data.
+        update = server.publish_update(RELEASE)
+        assert scheme.decrypt(ciphertext, 1, update) != MESSAGE
+
+
+class TestServerCannotDecrypt:
+    """§3: 'even the trusted authority or time server should not be able
+    to decrypt a message sent to any users' — unlike ID-TRE."""
+
+    def test_server_with_its_own_secret_fails(
+        self, scheme, group, server, user, ciphertext
+    ):
+        # The server knows s and every update; without `a` the best it
+        # can do is treat s (or any function of it) as a private key.
+        update = server.publish_update(RELEASE)
+        server_secret = server._keypair.private
+        assert scheme.decrypt(ciphertext, server_secret, update) != MESSAGE
+
+    def test_server_view_contains_no_user_data(self, group, rng):
+        # Operational anonymity: a fresh server that has served a whole
+        # conversation holds only its keypair and the label archive.
+        server = PassiveTimeServer(group, rng=rng)
+        scheme = TimedReleaseScheme(group)
+        user = UserKeyPair.generate(group, server.public_key, rng)
+        scheme.encrypt(b"m", user.public, server.public_key, b"t", rng)
+        server.publish_update(b"t")
+        assert server.archive_labels() == [b"t"]
+        # No attribute of the server references the user or message.
+        assert not any(
+            "user" in attr or "message" in attr for attr in vars(server)
+        )
+
+
+class TestCollusionBoundary:
+    """With the server's cooperation (issue_update early) the lock opens
+    — the paper's explicitly stated trust assumption, shown as the exact
+    boundary of the guarantee."""
+
+    def test_colluding_server_breaks_lock(self, scheme, group, user, rng):
+        server = PassiveTimeServer(group, rng=rng, clock=lambda: 0)
+        ct = scheme.encrypt(
+            MESSAGE, user.rekey_to_server(group, server.public_key).public,
+            server.public_key, RELEASE, rng,
+        )
+        early = server.issue_update(RELEASE)  # corrupt: before release
+        rekeyed = user.rekey_to_server(group, server.public_key)
+        assert scheme.decrypt(ct, rekeyed, early) == MESSAGE
+
+
+class TestMalleabilityDocumented:
+    """The base scheme is CPA only: XOR malleability exists (and is what
+    the FO/REACT transforms remove).  Pin the behaviour so a silent
+    upgrade doesn't invalidate the benchmarks' CPA/CCA comparison."""
+
+    def test_xor_malleability(self, scheme, group, server, user, rng):
+        import dataclasses
+
+        ct = scheme.encrypt(MESSAGE, user.public, server.public_key, RELEASE, rng)
+        flip = bytes([1] + [0] * (len(MESSAGE) - 1))
+        mauled = dataclasses.replace(ct, masked=xor_bytes(ct.masked, flip))
+        update = server.publish_update(RELEASE)
+        assert scheme.decrypt(mauled, user, update) == xor_bytes(MESSAGE, flip)
+
+
+class TestH2Independence:
+    def test_mask_tag_domain_separated(self, scheme, group, server, user, rng):
+        # The same pairing value under a different H2 tag yields a
+        # different mask — ciphertexts cannot be cross-decrypted between
+        # schemes sharing the group.
+        key, u_point = scheme.encapsulate(
+            user.public, server.public_key, RELEASE, rng
+        )
+        update = server.publish_update(RELEASE)
+        k = group.pair(u_point, update.point) ** user.private
+        assert group.mask_bytes(k, 32, tag=H2_TAG) == scheme.decapsulate(
+            u_point, user, update
+        )
+        assert group.mask_bytes(k, 32, tag="repro:other") != key

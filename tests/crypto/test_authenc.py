@@ -1,0 +1,63 @@
+"""Tests for encrypt-then-MAC authenticated encryption."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.authenc import aead_decrypt, aead_encrypt
+from repro.errors import DecryptionError
+
+
+class TestRoundtrip:
+    def test_basic(self):
+        sealed = aead_encrypt(b"secret", b"n", b"hello world")
+        assert aead_decrypt(b"secret", b"n", sealed) == b"hello world"
+
+    def test_empty_plaintext(self):
+        sealed = aead_encrypt(b"s", b"n", b"")
+        assert aead_decrypt(b"s", b"n", sealed) == b""
+
+    def test_with_associated_data(self):
+        sealed = aead_encrypt(b"s", b"n", b"msg", associated_data=b"hdr")
+        assert aead_decrypt(b"s", b"n", sealed, associated_data=b"hdr") == b"msg"
+
+    @given(st.binary(max_size=300), st.binary(max_size=16))
+    def test_roundtrip_property(self, plaintext, ad):
+        sealed = aead_encrypt(b"key", b"nonce", plaintext, associated_data=ad)
+        assert aead_decrypt(b"key", b"nonce", sealed, associated_data=ad) == plaintext
+
+
+class TestRejection:
+    def test_wrong_key(self):
+        sealed = aead_encrypt(b"k1", b"n", b"msg")
+        with pytest.raises(DecryptionError):
+            aead_decrypt(b"k2", b"n", sealed)
+
+    def test_wrong_nonce(self):
+        sealed = aead_encrypt(b"k", b"n1", b"msg")
+        with pytest.raises(DecryptionError):
+            aead_decrypt(b"k", b"n2", sealed)
+
+    def test_wrong_associated_data(self):
+        sealed = aead_encrypt(b"k", b"n", b"msg", associated_data=b"a")
+        with pytest.raises(DecryptionError):
+            aead_decrypt(b"k", b"n", sealed, associated_data=b"b")
+
+    def test_ciphertext_tamper(self):
+        sealed = bytearray(aead_encrypt(b"k", b"n", b"msg"))
+        sealed[0] ^= 1
+        with pytest.raises(DecryptionError):
+            aead_decrypt(b"k", b"n", bytes(sealed))
+
+    def test_tag_tamper(self):
+        sealed = bytearray(aead_encrypt(b"k", b"n", b"msg"))
+        sealed[-1] ^= 1
+        with pytest.raises(DecryptionError):
+            aead_decrypt(b"k", b"n", bytes(sealed))
+
+    def test_truncated_blob(self):
+        with pytest.raises(DecryptionError):
+            aead_decrypt(b"k", b"n", b"short")
+
+    def test_ciphertext_differs_from_plaintext(self):
+        sealed = aead_encrypt(b"k", b"n", b"a" * 64)
+        assert b"a" * 64 not in sealed

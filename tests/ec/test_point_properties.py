@@ -1,0 +1,69 @@
+"""Property-based tests: the group law on a pairing-sized curve.
+
+Uses the real toy64 subgroup so properties are exercised on the exact
+object the schemes use, including the Jacobian scalar-mult path.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.errors import GroupMismatchError
+from repro.pairing.api import PairingGroup
+
+GROUP = PairingGroup("toy64", family="A")
+Q = GROUP.q
+
+scalars = st.integers(1, Q - 1)
+
+common = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@common
+@given(scalars, scalars)
+def test_scalar_mult_additive_homomorphism(a, b):
+    g = GROUP.generator
+    assert g * a + g * b == g * ((a + b) % Q)
+
+
+@common
+@given(scalars, scalars)
+def test_scalar_mult_composition(a, b):
+    g = GROUP.generator
+    assert (g * a) * b == g * (a * b % Q)
+
+
+@common
+@given(scalars)
+def test_order_annihilates(a):
+    assert (GROUP.generator * a * Q).is_infinity
+
+
+@common
+@given(scalars)
+def test_negation(a):
+    g = GROUP.generator
+    assert g * (Q - a) == -(g * a)
+
+
+@common
+@given(scalars)
+def test_jacobian_matches_affine(a):
+    g = GROUP.generator
+    assert g * a == g.affine_scalar_mult(a)
+
+
+@common
+@given(scalars)
+def test_serialization_roundtrip(a):
+    point = GROUP.generator * a
+    assert GROUP.point_from_bytes(GROUP.point_to_bytes(point)) == point
+
+
+def test_cross_family_points_do_not_mix():
+    other = PairingGroup("toy64", family="B")
+    with pytest.raises(GroupMismatchError):
+        GROUP.generator + other.generator

@@ -1,0 +1,128 @@
+"""Tests for the generic polynomial extension field."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import EncodingError, FieldMismatchError, ParameterError
+from repro.math.polyext import PolyExtensionField
+
+P = 10007
+# Fp2 = Fp[i]/(i^2 + 1): valid since 10007 % 4 == 3.
+FQ2 = PolyExtensionField(P, (1, 0))
+# A quartic extension Fp[x]/(x^4 + x + 3) (irreducible over F_10007 —
+# verified by the inverse round-trip tests below, which would fail on a
+# zero divisor).
+FQ4 = PolyExtensionField(P, (3, 1, 0, 0))
+
+pairs = st.tuples(st.integers(0, P - 1), st.integers(0, P - 1))
+elements2 = pairs.map(lambda ab: FQ2(list(ab)))
+nonzero2 = elements2.filter(lambda e: not e.is_zero())
+
+
+class TestConstruction:
+    def test_degree(self):
+        assert FQ2.degree == 2
+        assert FQ4.degree == 4
+
+    def test_int_coercion(self):
+        assert FQ2(5) == FQ2([5, 0])
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ParameterError):
+            FQ2([1, 2, 3])
+
+    def test_empty_modulus_rejected(self):
+        with pytest.raises(ParameterError):
+            PolyExtensionField(P, ())
+
+    def test_x_is_root_of_modulus(self):
+        # In FQ2 = Fp[i]/(i^2+1): x^2 == -1.
+        assert FQ2.x().square() == FQ2(P - 1)
+
+    def test_agrees_with_quadratic_field(self):
+        """FQ2 with modulus x²+1 must match QuadraticField(beta=-1)."""
+        from repro.math.field import PrimeField
+        from repro.math.quadratic import QuadraticField
+
+        ref = QuadraticField(PrimeField(P), -1)
+        a = FQ2([3, 4]) * FQ2([5, 6])
+        b = ref(3, 4) * ref(5, 6)
+        assert a.coeffs == (b.a, b.b)
+
+
+class TestArithmetic:
+    def test_known_product(self):
+        # (1 + 2i)(3 + 4i) = 3 + 10i - 8 = -5 + 10i.
+        assert FQ2([1, 2]) * FQ2([3, 4]) == FQ2([P - 5, 10])
+
+    def test_field_mismatch(self):
+        with pytest.raises(FieldMismatchError):
+            FQ2([1, 2]) + FQ4([1, 2, 3, 4])
+
+    def test_int_ops(self):
+        assert FQ2([2, 3]) + 1 == FQ2([3, 3])
+        assert 2 * FQ2([2, 3]) == FQ2([4, 6])
+        assert 1 - FQ2([2, 3]) == FQ2([P - 1, P - 3])
+        assert 6 / FQ2([6, 0]) == FQ2(1)
+
+    @given(elements2, elements2, elements2)
+    def test_ring_axioms(self, a, b, c):
+        assert a + b == b + a
+        assert a * b == b * a
+        assert a * (b + c) == a * b + a * c
+        assert (a + b) + c == a + (b + c)
+
+    @given(nonzero2)
+    def test_inverse(self, a):
+        assert a * a.inverse() == FQ2.one()
+
+    @given(elements2)
+    def test_square(self, a):
+        assert a.square() == a * a
+
+    def test_pow(self):
+        a = FQ2([3, 4])
+        assert a ** 0 == FQ2.one()
+        assert a ** 5 == a * a * a * a * a
+        assert a ** -1 == a.inverse()
+
+    def test_fermat_in_extension(self):
+        # |FQ2*| = p^2 - 1.
+        a = FQ2([3, 4])
+        assert a ** (P * P - 1) == FQ2.one()
+
+    def test_quartic_inverse(self):
+        import random
+
+        rng = random.Random(0)
+        for _ in range(20):
+            a = FQ4.random(rng)
+            if a.is_zero():
+                continue
+            assert a * a.inverse() == FQ4.one()
+
+    def test_zero_inverse_raises(self):
+        with pytest.raises(ParameterError):
+            FQ4.zero().inverse()
+
+
+class TestSerialization:
+    @given(elements2)
+    def test_roundtrip(self, a):
+        assert FQ2.from_bytes(a.to_bytes()) == a
+
+    def test_fixed_width(self):
+        assert len(FQ4([1, 2, 3, 4]).to_bytes()) == FQ4.element_bytes
+
+    def test_bad_length(self):
+        with pytest.raises(EncodingError):
+            FQ2.from_bytes(b"\x00")
+
+    def test_overflow_rejected(self):
+        width = FQ2.element_bytes // 2
+        bad = (P + 1).to_bytes(width, "big") * 2
+        with pytest.raises(EncodingError):
+            FQ2.from_bytes(bad)
+
+    def test_hashable(self):
+        assert len({FQ2([1, 2]), FQ2([1, 2]), FQ2([2, 1])}) == 2

@@ -1,0 +1,123 @@
+"""Unit and property tests for the quadratic extension Fp2."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import EncodingError, FieldMismatchError, ParameterError
+from repro.math.field import PrimeField
+from repro.math.quadratic import QuadraticField
+
+P = 10007  # P % 4 == 3 and P % 3 == 2: both betas available.
+BASE = PrimeField(P)
+FQ2_M1 = QuadraticField(BASE, -1)
+FQ2_M3 = QuadraticField(BASE, -3)
+
+coeffs = st.integers(0, P - 1)
+elements = st.tuples(coeffs, coeffs).map(lambda ab: FQ2_M1(*ab))
+nonzero = elements.filter(lambda e: not e.is_zero())
+
+
+class TestConstruction:
+    def test_residue_beta_raises(self):
+        with pytest.raises(ParameterError):
+            QuadraticField(BASE, 4)
+
+    def test_u_squares_to_beta(self):
+        assert FQ2_M1.u().square() == FQ2_M1(-1 % P, 0)
+        assert FQ2_M3.u().square() == FQ2_M3(-3 % P, 0)
+
+    def test_order(self):
+        assert FQ2_M1.order() == P * P
+
+    def test_from_base(self):
+        assert FQ2_M1.from_base(BASE(7)) == FQ2_M1(7, 0)
+        assert FQ2_M1.from_base(7).in_base_field()
+
+
+class TestArithmetic:
+    def test_known_product(self):
+        # (1 + 2u)(3 + 4u) with u^2 = -1: 3 + 4u + 6u - 8 = -5 + 10u
+        assert FQ2_M1(1, 2) * FQ2_M1(3, 4) == FQ2_M1(-5 % P, 10)
+
+    def test_mixing_betas_raises(self):
+        with pytest.raises(FieldMismatchError):
+            FQ2_M1(1, 1) + FQ2_M3(1, 1)
+
+    def test_int_and_base_coercion(self):
+        assert FQ2_M1(2, 3) + 1 == FQ2_M1(3, 3)
+        assert 2 * FQ2_M1(2, 3) == FQ2_M1(4, 6)
+        assert FQ2_M1(2, 3) - BASE(2) == FQ2_M1(0, 3)
+        assert 5 / FQ2_M1(5, 0) == FQ2_M1(1, 0)
+
+    @given(elements, elements, elements)
+    def test_ring_axioms(self, a, b, c):
+        assert a + b == b + a
+        assert a * b == b * a
+        assert a * (b + c) == a * b + a * c
+        assert (a - b) + b == a
+
+    @given(nonzero)
+    def test_inverse(self, a):
+        assert a * a.inverse() == FQ2_M1.one()
+
+    @given(elements)
+    def test_square_matches_mul(self, a):
+        assert a.square() == a * a
+
+    @given(nonzero, st.integers(0, 2**64))
+    def test_pow_matches_repeated_mul_small(self, a, e):
+        e_small = e % 16
+        expected = FQ2_M1.one()
+        for _ in range(e_small):
+            expected = expected * a
+        assert a ** e_small == expected
+
+    def test_zero_inverse_raises(self):
+        with pytest.raises(ParameterError):
+            FQ2_M1.zero().inverse()
+
+
+class TestFrobeniusAndNorm:
+    @given(elements)
+    def test_conjugate_is_frobenius(self, a):
+        assert a.conjugate() == a ** P
+
+    @given(elements)
+    def test_norm_multiplicative(self, a):
+        b = FQ2_M1(3, 4)
+        assert (a * b).norm() == a.norm() * b.norm() % P
+
+    @given(nonzero)
+    def test_unitary_inverse(self, a):
+        unit = a.conjugate() * a.inverse()  # norm 1 by construction
+        assert unit.norm() == 1
+        assert unit * unit.unitary_inverse() == FQ2_M1.one()
+
+
+class TestSerialization:
+    @given(elements)
+    def test_roundtrip(self, a):
+        assert FQ2_M1.from_bytes(a.to_bytes()) == a
+
+    def test_fixed_width(self):
+        assert len(FQ2_M1(1, 2).to_bytes()) == FQ2_M1.element_bytes
+
+    def test_bad_length_raises(self):
+        with pytest.raises(EncodingError):
+            FQ2_M1.from_bytes(b"\x01")
+
+    def test_overflow_raises(self):
+        bad = (P + 1).to_bytes(BASE.element_bytes, "big") * 2
+        with pytest.raises(EncodingError):
+            FQ2_M1.from_bytes(bad)
+
+    def test_hashable(self):
+        assert len({FQ2_M1(1, 2), FQ2_M1(1, 2), FQ2_M1(2, 1)}) == 2
+
+    def test_cube_root_of_unity_in_m3(self):
+        from repro.math.modular import inverse_mod
+
+        inv2 = inverse_mod(2, P)
+        zeta = FQ2_M3((P - 1) * inv2 % P, inv2)
+        assert zeta ** 3 == FQ2_M3.one()
+        assert zeta != FQ2_M3.one()

@@ -1,0 +1,105 @@
+"""Tests for the BN254 Type-3 pairing backend.
+
+BN254 pairings cost ~0.5 s each in pure Python, so the expensive GT
+values are computed once per module and the scalar checks reuse them.
+"""
+
+import pytest
+
+from repro.errors import NotInSubgroupError
+from repro.pairing.bn254 import (
+    ATE_LOOP_COUNT,
+    CURVE_ORDER,
+    FIELD_MODULUS,
+    G2_COFACTOR,
+    bn254,
+)
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return bn254()
+
+
+@pytest.fixture(scope="module")
+def base_pairing(engine):
+    return engine.pair(engine.g1, engine.g2)
+
+
+class TestParameters:
+    def test_bn_parameter_relation(self):
+        # p and q derive from the BN parameter u.
+        u = 4965661367192848881
+        p = 36 * u**4 + 36 * u**3 + 24 * u**2 + 6 * u + 1
+        q = 36 * u**4 + 36 * u**3 + 18 * u**2 + 6 * u + 1
+        assert p == FIELD_MODULUS
+        assert q == CURVE_ORDER
+        assert 6 * u + 2 == ATE_LOOP_COUNT
+
+    def test_g2_cofactor(self):
+        assert G2_COFACTOR == 2 * FIELD_MODULUS - CURVE_ORDER
+
+    def test_hard_part_divisibility(self):
+        p, q = FIELD_MODULUS, CURVE_ORDER
+        assert (p**4 - p**2 + 1) % q == 0
+
+
+class TestGroups:
+    def test_generators_on_curves(self, engine):
+        assert engine.curve_g1.contains(engine.g1.x, engine.g1.y)
+        assert engine.curve_g2.contains(engine.g2.x, engine.g2.y)
+
+    def test_generator_orders(self, engine):
+        assert (engine.g1 * CURVE_ORDER).is_infinity
+        assert (engine.g2 * CURVE_ORDER).is_infinity
+        assert not (engine.g1 * (CURVE_ORDER - 1)).is_infinity
+
+    def test_g1_membership(self, engine, rng):
+        assert engine.in_g1(engine.g1 * 12345)
+        assert engine.in_g1(engine.curve_g1.infinity())
+        assert not engine.in_g1(engine.g2)
+
+    def test_g2_membership(self, engine):
+        assert engine.in_g2(engine.g2 * 999)
+        assert not engine.in_g2(engine.g1)
+
+    def test_twist_lands_on_fq12_curve(self, engine):
+        twisted = engine.twist(engine.g2)
+        assert engine.curve_g12.contains(twisted.x, twisted.y)
+
+    def test_hash_to_g1(self, engine):
+        h1 = engine.hash_to_g1(b"round-1")
+        h2 = engine.hash_to_g1(b"round-2")
+        assert engine.in_g1(h1)
+        assert h1 != h2
+        assert engine.hash_to_g1(b"round-1") == h1
+
+
+class TestPairing:
+    def test_non_degenerate(self, base_pairing):
+        assert not base_pairing.is_one()
+
+    def test_gt_order(self, base_pairing):
+        assert (base_pairing ** CURVE_ORDER).is_one()
+
+    def test_bilinearity(self, engine, base_pairing):
+        # Small scalars keep the reused-GT exponentiations cheap.
+        a, b = 31337, 271828
+        left = engine.pair(engine.g1 * a, engine.g2 * b)
+        assert left == base_pairing ** (a * b)
+
+    def test_infinity_inputs(self, engine):
+        assert engine.pair(engine.curve_g1.infinity(), engine.g2).is_one()
+        assert engine.pair(engine.g1, engine.curve_g2.infinity()).is_one()
+
+    def test_wrong_group_inputs_rejected(self, engine):
+        with pytest.raises(NotInSubgroupError):
+            engine.pair(engine.g2, engine.g2)
+        with pytest.raises(NotInSubgroupError):
+            engine.pair(engine.g1, engine.g1)
+
+    def test_mask_bytes(self, engine, base_pairing):
+        mask = engine.mask_bytes(base_pairing, 48)
+        assert len(mask) == 48
+        assert engine.mask_bytes(base_pairing, 48) == mask
+        assert engine.mask_bytes(base_pairing ** 2, 48) != mask

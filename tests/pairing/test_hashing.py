@@ -1,0 +1,112 @@
+"""Tests for the H1/H2/Zq hash maps."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.pairing import hashing
+from repro.pairing.api import PairingGroup
+
+GROUPS = {
+    "A": PairingGroup("toy64", family="A"),
+    "B": PairingGroup("toy64", family="B"),
+}
+
+common = settings(
+    max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+@pytest.mark.parametrize("family", ["A", "B"])
+class TestHashToSubgroup:
+    def test_in_subgroup(self, family):
+        g = GROUPS[family]
+        point = g.hash_to_g1(b"2026-07-05T00:00Z")
+        assert g.in_group(point)
+        assert not point.is_infinity
+
+    def test_deterministic(self, family):
+        g = GROUPS[family]
+        assert g.hash_to_g1(b"x") == g.hash_to_g1(b"x")
+
+    def test_different_inputs_differ(self, family):
+        g = GROUPS[family]
+        assert g.hash_to_g1(b"x") != g.hash_to_g1(b"y")
+
+    def test_tag_separation(self, family):
+        g = GROUPS[family]
+        assert g.hash_to_g1(b"x", tag="t1") != g.hash_to_g1(b"x", tag="t2")
+
+    def test_empty_input(self, family):
+        g = GROUPS[family]
+        assert g.in_group(g.hash_to_g1(b""))
+
+    def test_long_input(self, family):
+        g = GROUPS[family]
+        assert g.in_group(g.hash_to_g1(b"T" * 10_000))
+
+
+@common
+@given(st.binary(max_size=64))
+def test_hash_to_subgroup_property(data):
+    g = GROUPS["A"]
+    point = g.hash_to_g1(data)
+    assert g.in_group(point)
+
+
+class TestHashGtToBytes:
+    def test_length(self):
+        g = GROUPS["A"]
+        e = g.pair(g.generator, g.generator)
+        for n in (0, 1, 16, 32, 64, 65, 1000):
+            assert len(g.mask_bytes(e, n)) == n
+
+    def test_deterministic(self):
+        g = GROUPS["A"]
+        e = g.pair(g.generator, g.generator)
+        assert g.mask_bytes(e, 32) == g.mask_bytes(e, 32)
+
+    def test_prefix_consistency(self):
+        g = GROUPS["A"]
+        e = g.pair(g.generator, g.generator)
+        assert g.mask_bytes(e, 128)[:32] == g.mask_bytes(e, 32)
+
+    def test_distinct_elements_distinct_masks(self):
+        g = GROUPS["A"]
+        e = g.pair(g.generator, g.generator)
+        assert g.mask_bytes(e, 32) != g.mask_bytes(e ** 2, 32)
+
+    def test_tag_separation(self):
+        g = GROUPS["A"]
+        e = g.pair(g.generator, g.generator)
+        assert g.mask_bytes(e, 32, tag="a") != g.mask_bytes(e, 32, tag="b")
+
+
+class TestHashToScalar:
+    def test_range(self):
+        q = GROUPS["A"].q
+        for i in range(50):
+            v = hashing.hash_to_scalar(q, str(i).encode())
+            assert 1 <= v < q
+
+    def test_deterministic(self):
+        q = GROUPS["A"].q
+        assert hashing.hash_to_scalar(q, b"m") == hashing.hash_to_scalar(q, b"m")
+
+    def test_multi_part_framing(self):
+        q = GROUPS["A"].q
+        # (b"ab", b"c") must differ from (b"a", b"bc").
+        assert hashing.hash_to_scalar(q, b"ab", b"c") != hashing.hash_to_scalar(
+            q, b"a", b"bc"
+        )
+
+    def test_small_modulus(self):
+        for _ in range(5):
+            assert 1 <= hashing.hash_to_scalar(17, b"x") < 17
+
+
+class TestHashBytes:
+    def test_framing_unambiguous(self):
+        assert hashing.hash_bytes(b"ab", b"c") != hashing.hash_bytes(b"a", b"bc")
+
+    def test_tag_separation(self):
+        assert hashing.hash_bytes(b"m", tag="x") != hashing.hash_bytes(b"m", tag="y")

@@ -1,0 +1,54 @@
+"""Re-verify every arithmetic property of the frozen parameter sets."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.math.primes import is_probable_prime
+from repro.pairing.params import PARAMETER_SETS, ParameterSet, get_parameter_set
+
+
+@pytest.mark.parametrize("name", sorted(PARAMETER_SETS))
+class TestParameterSet:
+    def test_p_equals_cq_minus_one(self, name):
+        ps = PARAMETER_SETS[name]
+        assert ps.p == ps.c * ps.q - 1
+
+    def test_q_prime(self, name):
+        assert is_probable_prime(PARAMETER_SETS[name].q)
+
+    def test_p_prime(self, name):
+        assert is_probable_prime(PARAMETER_SETS[name].p)
+
+    def test_cofactor_divisible_by_12(self, name):
+        assert PARAMETER_SETS[name].c % 12 == 0
+
+    def test_family_a_congruence(self, name):
+        assert PARAMETER_SETS[name].p % 4 == 3
+
+    def test_family_b_congruence(self, name):
+        assert PARAMETER_SETS[name].p % 3 == 2
+
+    def test_bit_lengths(self, name):
+        ps = PARAMETER_SETS[name]
+        assert ps.q_bits == ps.q.bit_length()
+        assert ps.p_bits == ps.p.bit_length()
+
+
+def test_expected_sizes():
+    assert PARAMETER_SETS["toy64"].q_bits == 64
+    assert PARAMETER_SETS["ss512"].p_bits == 512
+    assert PARAMETER_SETS["ss1024"].p_bits == 1024
+    assert PARAMETER_SETS["ss1536"].p_bits == 1536
+
+
+def test_lookup():
+    assert get_parameter_set("ss512").name == "ss512"
+    with pytest.raises(ParameterError):
+        get_parameter_set("nope")
+
+
+def test_inconsistent_set_rejected():
+    with pytest.raises(ParameterError):
+        ParameterSet("bad", q=7, c=12, p=100, security_bits=0)
+    with pytest.raises(ParameterError):
+        ParameterSet("bad", q=7, c=10, p=69, security_bits=0)

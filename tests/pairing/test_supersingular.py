@@ -1,0 +1,111 @@
+"""Tests for the supersingular curve families and distortion maps."""
+
+import random
+
+import pytest
+
+from repro.errors import NotInSubgroupError, ParameterError
+from repro.pairing.params import get_parameter_set
+from repro.pairing.supersingular import FAMILY_A, FAMILY_B, SupersingularCurve
+
+PARAMS = get_parameter_set("toy64")
+
+
+@pytest.fixture(scope="module", params=[FAMILY_A, FAMILY_B])
+def ssc(request):
+    return SupersingularCurve(PARAMS, request.param)
+
+
+class TestConstruction:
+    def test_unknown_family_raises(self):
+        with pytest.raises(ParameterError):
+            SupersingularCurve(PARAMS, "C")
+
+    def test_curve_equations(self):
+        a = SupersingularCurve(PARAMS, FAMILY_A)
+        assert a.curve.a.value == 1 and a.curve.b.value == 0
+        b = SupersingularCurve(PARAMS, FAMILY_B)
+        assert b.curve.a.value == 0 and b.curve.b.value == 1
+
+    def test_generator_in_subgroup(self, ssc):
+        assert ssc.in_subgroup(ssc.generator)
+        assert not ssc.generator.is_infinity
+
+    def test_generator_deterministic(self, ssc):
+        again = SupersingularCurve(PARAMS, ssc.family)
+        assert again.generator == ssc.generator
+
+    def test_families_have_distinct_generators(self):
+        a = SupersingularCurve(PARAMS, FAMILY_A)
+        b = SupersingularCurve(PARAMS, FAMILY_B)
+        assert a.generator.curve != b.generator.curve
+
+
+class TestGroupOrder:
+    def test_curve_order_is_p_plus_one(self, ssc):
+        # #E(Fp) = p + 1 for supersingular curves: any point times p+1 = O.
+        rng = random.Random(1)
+        for _ in range(5):
+            point = ssc.curve.random_point(rng)
+            assert (point * (PARAMS.p + 1)).is_infinity
+
+    def test_subgroup_order_q(self, ssc):
+        assert (ssc.generator * PARAMS.q).is_infinity
+        assert not (ssc.generator * (PARAMS.q - 1)).is_infinity
+
+    def test_clear_cofactor_lands_in_subgroup(self, ssc):
+        rng = random.Random(2)
+        for _ in range(5):
+            cleared = ssc.clear_cofactor(ssc.curve.random_point(rng))
+            assert ssc.in_subgroup(cleared)
+
+
+class TestDistortionMap:
+    def test_image_on_extension_curve(self, ssc):
+        point = ssc.generator
+        image = ssc.distort(point)
+        assert ssc.ext_curve.contains(image.x, image.y)
+
+    def test_image_linearly_independent(self, ssc):
+        # phi(P) is not a scalar multiple of the embedded P: their x
+        # coordinates differ as Fp2 elements for all k (spot check k=1).
+        point = ssc.generator
+        image = ssc.distort(point)
+        embedded_x = ssc.fp2.from_base(point.x)
+        assert image.x != embedded_x
+
+    def test_distortion_is_homomorphism(self, ssc):
+        p1 = ssc.generator
+        p2 = ssc.generator * 7
+        left = ssc.distort(p1 + p2)
+        right = ssc.distort(p1) + ssc.distort(p2)
+        assert left == right
+
+    def test_distort_infinity(self, ssc):
+        assert ssc.distort(ssc.curve.infinity()).is_infinity
+
+    def test_image_order_q(self, ssc):
+        image = ssc.distort(ssc.generator)
+        assert (image * PARAMS.q).is_infinity
+
+
+class TestSubgroupChecks:
+    def test_infinity_in_subgroup(self, ssc):
+        assert ssc.in_subgroup(ssc.curve.infinity())
+
+    def test_out_of_subgroup_detected(self, ssc):
+        rng = random.Random(3)
+        # A random full-curve point is outside the q-subgroup w.h.p.
+        for _ in range(10):
+            point = ssc.curve.random_point(rng)
+            if not (point * PARAMS.q).is_infinity:
+                assert not ssc.in_subgroup(point)
+                with pytest.raises(NotInSubgroupError):
+                    ssc.ensure_in_subgroup(point)
+                return
+        pytest.fail("never sampled a non-subgroup point")
+
+    def test_wrong_curve_rejected(self, ssc):
+        other_family = FAMILY_B if ssc.family == FAMILY_A else FAMILY_A
+        other = SupersingularCurve(PARAMS, other_family)
+        assert not ssc.in_subgroup(other.generator)

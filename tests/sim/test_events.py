@@ -1,0 +1,81 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import Simulator
+
+
+class TestScheduling:
+    def test_runs_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule_at(3.0, lambda: order.append("c"))
+        sim.schedule_at(1.0, lambda: order.append("a"))
+        sim.schedule_at(2.0, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_tie_break(self):
+        sim = Simulator()
+        order = []
+        for name in "abc":
+            sim.schedule_at(1.0, lambda n=name: order.append(n))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_relative_scheduling(self):
+        sim = Simulator()
+        times = []
+        sim.schedule_in(5.0, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [5.0]
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        times = []
+
+        def first():
+            times.append(sim.now)
+            sim.schedule_in(2.0, lambda: times.append(sim.now))
+
+        sim.schedule_at(1.0, first)
+        sim.run()
+        assert times == [1.0, 3.0]
+
+    def test_past_scheduling_rejected(self):
+        sim = Simulator()
+        sim.schedule_at(5.0, lambda: sim.schedule_at(1.0, lambda: None))
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule_in(-1.0, lambda: None)
+
+
+class TestRunUntil:
+    def test_stops_at_boundary(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(1.0, lambda: fired.append(1))
+        sim.schedule_at(10.0, lambda: fired.append(10))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+        assert sim.pending() == 1
+        sim.run()
+        assert fired == [1, 10]
+
+    def test_empty_run(self):
+        sim = Simulator()
+        assert sim.run() == 0.0
+        assert sim.events_processed == 0
+
+    def test_event_counter(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule_at(float(i), lambda: None)
+        sim.run()
+        assert sim.events_processed == 5

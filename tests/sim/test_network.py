@@ -1,0 +1,108 @@
+"""Tests for latency models, unicast links and the broadcast channel."""
+
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import Simulator
+from repro.sim.metrics import MetricsCollector
+from repro.sim.network import (
+    BroadcastChannel,
+    FixedLatency,
+    NormalJitterLatency,
+    UnicastLink,
+    UniformLatency,
+)
+
+
+class TestLatencyModels:
+    def test_fixed(self):
+        model = FixedLatency(2.5)
+        assert model.sample(random.Random(0)) == 2.5
+
+    def test_fixed_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            FixedLatency(-1)
+
+    def test_uniform_range(self):
+        model = UniformLatency(1.0, 3.0)
+        rng = random.Random(1)
+        for _ in range(100):
+            assert 1.0 <= model.sample(rng) <= 3.0
+
+    def test_uniform_bad_bounds(self):
+        with pytest.raises(SimulationError):
+            UniformLatency(3.0, 1.0)
+        with pytest.raises(SimulationError):
+            UniformLatency(-1.0, 1.0)
+
+    def test_normal_floor(self):
+        model = NormalJitterLatency(0.001, 10.0, floor=0.5)
+        rng = random.Random(2)
+        assert all(model.sample(rng) >= 0.5 for _ in range(100))
+
+    def test_normal_bad_params(self):
+        with pytest.raises(SimulationError):
+            NormalJitterLatency(-1, 0)
+
+
+class TestUnicastLink:
+    def test_delivery(self):
+        sim = Simulator()
+        metrics = MetricsCollector()
+        link = UnicastLink(sim, FixedLatency(2.0), random.Random(0), metrics, "l")
+        received = []
+        arrival = link.send(b"payload", 7, received.append)
+        assert arrival == 2.0
+        sim.run()
+        assert received == [b"payload"]
+        assert metrics.channels["l"].messages == 1
+        assert metrics.channels["l"].bytes == 7
+
+    def test_metrics_optional(self):
+        sim = Simulator()
+        link = UnicastLink(sim, FixedLatency(1.0), random.Random(0))
+        link.send(b"x", 1, lambda p: None)
+        sim.run()
+
+
+class TestBroadcastChannel:
+    def test_fanout(self):
+        sim = Simulator()
+        metrics = MetricsCollector()
+        channel = BroadcastChannel(
+            sim, FixedLatency(0.5), random.Random(0), metrics, "b"
+        )
+        boxes = [[], [], []]
+        for box in boxes:
+            channel.subscribe(box.append)
+        arrivals = channel.publish("update", 66)
+        sim.run()
+        assert all(box == ["update"] for box in boxes)
+        assert arrivals == [0.5, 0.5, 0.5]
+        # One message charged regardless of subscriber count.
+        assert metrics.channels["b"].messages == 1
+        assert metrics.channels["b"].bytes == 66
+
+    def test_independent_jitter(self):
+        sim = Simulator()
+        channel = BroadcastChannel(
+            sim, UniformLatency(0.0, 1.0), random.Random(3), None
+        )
+        for _ in range(5):
+            channel.subscribe(lambda p: None)
+        arrivals = channel.publish("u", 1)
+        assert len(set(arrivals)) > 1
+
+    def test_subscriber_count(self):
+        sim = Simulator()
+        channel = BroadcastChannel(sim, FixedLatency(0), random.Random(0), None)
+        assert channel.subscriber_count == 0
+        channel.subscribe(lambda p: None)
+        assert channel.subscriber_count == 1
+
+    def test_empty_broadcast(self):
+        sim = Simulator()
+        channel = BroadcastChannel(sim, FixedLatency(0), random.Random(0), None)
+        assert channel.publish("u", 1) == []

@@ -1,0 +1,82 @@
+"""End-to-end tests of the paper's two motivating scenarios."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.network import NormalJitterLatency, UniformLatency
+from repro.sim.scenarios import run_programming_contest, run_sealed_bid_auction
+
+
+class TestProgrammingContest:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_programming_contest(teams=12, seed=42)
+
+    def test_every_team_opens(self, result):
+        assert len(result.tre_open_times) == 12
+
+    def test_nobody_opens_before_start(self, result):
+        assert min(result.tre_open_times) >= result.contest_start
+
+    def test_ciphertexts_arrive_before_start(self, result):
+        assert max(result.ciphertext_arrivals) <= result.contest_start
+
+    def test_tre_fairer_than_naive(self, result):
+        assert result.tre_spread < result.naive_spread / 10
+
+    def test_tre_lag_is_update_jitter_scale(self, result):
+        # Updates are tiny: worst lag well under a second with the
+        # default jitter model, versus minutes for the naive arm.
+        assert result.tre_worst_lag < 1.0
+        assert result.naive_worst_lag > 5.0
+
+    def test_single_broadcast(self, result):
+        assert result.server_broadcasts == 1
+
+    def test_server_anonymity(self, result):
+        assert result.ledger.server_learned_nothing()
+
+    def test_custom_latency_models(self):
+        result = run_programming_contest(
+            teams=5,
+            seed=1,
+            message_latency=UniformLatency(1.0, 50.0),
+            update_latency=NormalJitterLatency(0.01, 0.001),
+        )
+        assert result.tre_spread < 0.1
+
+    def test_no_teams_rejected(self):
+        with pytest.raises(SimulationError):
+            run_programming_contest(teams=0)
+
+    def test_deterministic_given_seed(self):
+        r1 = run_programming_contest(teams=4, seed=9)
+        r2 = run_programming_contest(teams=4, seed=9)
+        assert r1.tre_open_times == r2.tre_open_times
+        assert r1.naive_open_times == r2.naive_open_times
+
+
+class TestSealedBidAuction:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_sealed_bid_auction(bidders=6, seed=13)
+
+    def test_winner_has_highest_bid(self, result):
+        assert result.winning_bid == max(result.bids.values())
+
+    def test_early_openings_all_fail(self, result):
+        assert result.early_opening_attempts > 0
+        assert result.early_openings_succeeded == 0
+
+    def test_bids_open_after_close(self, result):
+        assert result.opened_at >= result.close_time
+
+    def test_single_broadcast(self, result):
+        assert result.server_broadcasts == 1
+
+    def test_server_anonymity(self, result):
+        assert result.ledger.server_learned_nothing()
+
+    def test_minimum_bidders(self):
+        with pytest.raises(SimulationError):
+            run_sealed_bid_auction(bidders=1)

@@ -1,0 +1,53 @@
+"""Tests for the threshold-beacon simulation scenario."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.scenarios import run_threshold_beacon
+
+
+class TestThresholdBeaconScenario:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_threshold_beacon(
+            members=5, threshold=3, offline=2, receivers=8, seed=31
+        )
+
+    def test_all_receivers_open(self, result):
+        assert result.receivers_opened == 8
+
+    def test_combined_after_release(self, result):
+        assert result.combined_at is not None
+        assert result.combined_at >= result.release_time
+
+    def test_time_to_update_is_share_latency_scale(self, result):
+        # Share jitter is sub-second; the update should land quickly.
+        assert 0 < result.time_to_update < 2.0
+
+    def test_only_online_members_contribute(self, result):
+        assert len(result.share_arrivals) == 3  # 5 members - 2 offline
+
+    def test_opens_track_release(self, result):
+        assert all(t >= result.release_time for t in result.open_times)
+
+    def test_too_many_failures_rejected(self):
+        with pytest.raises(SimulationError):
+            run_threshold_beacon(members=5, threshold=3, offline=3)
+
+    def test_no_failures(self):
+        result = run_threshold_beacon(
+            members=4, threshold=4, offline=0, receivers=3, seed=8
+        )
+        assert result.receivers_opened == 3
+
+    def test_deterministic(self):
+        r1 = run_threshold_beacon(members=5, threshold=2, offline=1, seed=77)
+        r2 = run_threshold_beacon(members=5, threshold=2, offline=1, seed=77)
+        assert r1.combined_at == r2.combined_at
+        assert r1.open_times == r2.open_times
+
+    def test_threshold_timing_improves_with_lower_k(self):
+        """Combining at the k-th share arrival: lower k -> earlier update."""
+        fast = run_threshold_beacon(members=7, threshold=2, offline=0, seed=5)
+        slow = run_threshold_beacon(members=7, threshold=7, offline=0, seed=5)
+        assert fast.time_to_update <= slow.time_to_update

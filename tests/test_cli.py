@@ -1,0 +1,142 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def _run(argv):
+    return main(argv)
+
+
+@pytest.fixture()
+def keyring(tmp_path):
+    """Server + user key files on toy64 for fast CLI flows."""
+    server_key = tmp_path / "server.key"
+    server_pub = tmp_path / "server.pub"
+    user_key = tmp_path / "user.key"
+    user_pub = tmp_path / "user.pub"
+    assert _run([
+        "server-keygen", "--params", "toy64",
+        "--key", str(server_key), "--pub", str(server_pub),
+    ]) == 0
+    assert _run([
+        "user-keygen", "--server-pub", str(server_pub),
+        "--key", str(user_key), "--pub", str(user_pub),
+    ]) == 0
+    return {
+        "server_key": server_key,
+        "server_pub": server_pub,
+        "user_key": user_key,
+        "user_pub": user_pub,
+        "tmp": tmp_path,
+    }
+
+
+class TestKeygen:
+    def test_files_written(self, keyring):
+        assert keyring["server_key"].read_text().startswith("repro-tre v1 server-key")
+        assert keyring["server_pub"].read_text().startswith("repro-tre v1 server-public")
+        assert keyring["user_key"].read_text().startswith("repro-tre v1 user-key")
+
+    def test_private_key_not_in_public_file(self, keyring):
+        private_line = [
+            line for line in keyring["server_key"].read_text().splitlines()
+            if line.startswith("private=")
+        ][0]
+        assert private_line.split("=", 1)[1] not in keyring["server_pub"].read_text()
+
+
+class TestEncryptDecrypt:
+    def test_full_flow(self, keyring):
+        tmp = keyring["tmp"]
+        (tmp / "msg.txt").write_bytes(b"CLI round trip")
+        assert _run([
+            "encrypt", "--server-pub", str(keyring["server_pub"]),
+            "--receiver-pub", str(keyring["user_pub"]),
+            "--time", "2031-01-01T00:00Z",
+            "--infile", str(tmp / "msg.txt"),
+            "--outfile", str(tmp / "msg.tre"),
+        ]) == 0
+        assert _run([
+            "issue-update", "--server-key", str(keyring["server_key"]),
+            "--time", "2031-01-01T00:00Z",
+            "--outfile", str(tmp / "update.bin"),
+        ]) == 0
+        assert _run([
+            "verify-update", "--server-pub", str(keyring["server_pub"]),
+            "--infile", str(tmp / "update.bin"),
+        ]) == 0
+        assert _run([
+            "decrypt", "--user-key", str(keyring["user_key"]),
+            "--server-pub", str(keyring["server_pub"]),
+            "--update", str(tmp / "update.bin"),
+            "--infile", str(tmp / "msg.tre"),
+            "--outfile", str(tmp / "msg.out"),
+        ]) == 0
+        assert (tmp / "msg.out").read_bytes() == b"CLI round trip"
+
+    def test_wrong_update_fails_cleanly(self, keyring):
+        tmp = keyring["tmp"]
+        (tmp / "msg.txt").write_bytes(b"secret")
+        _run([
+            "encrypt", "--server-pub", str(keyring["server_pub"]),
+            "--receiver-pub", str(keyring["user_pub"]),
+            "--time", "T-right",
+            "--infile", str(tmp / "msg.txt"),
+            "--outfile", str(tmp / "msg.tre"),
+        ])
+        _run([
+            "issue-update", "--server-key", str(keyring["server_key"]),
+            "--time", "T-wrong",
+            "--outfile", str(tmp / "update.bin"),
+        ])
+        code = _run([
+            "decrypt", "--user-key", str(keyring["user_key"]),
+            "--server-pub", str(keyring["server_pub"]),
+            "--update", str(tmp / "update.bin"),
+            "--infile", str(tmp / "msg.tre"),
+            "--outfile", str(tmp / "msg.out"),
+        ])
+        assert code == 2  # clean error exit, no traceback
+        assert not (tmp / "msg.out").exists()
+
+    def test_tampered_update_fails_verification(self, keyring):
+        tmp = keyring["tmp"]
+        _run([
+            "issue-update", "--server-key", str(keyring["server_key"]),
+            "--time", "T", "--outfile", str(tmp / "update.bin"),
+        ])
+        blob = bytearray((tmp / "update.bin").read_bytes())
+        blob[-1] ^= 1
+        (tmp / "tampered.bin").write_bytes(bytes(blob))
+        code = _run([
+            "verify-update", "--server-pub", str(keyring["server_pub"]),
+            "--infile", str(tmp / "tampered.bin"),
+        ])
+        assert code != 0
+
+
+class TestMisc:
+    def test_info(self, capsys):
+        assert _run(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "ss512" in out and "toy64" in out
+
+    def test_wrong_file_kind_rejected(self, keyring):
+        code = _run([
+            "user-keygen", "--server-pub", str(keyring["user_pub"]),
+            "--key", str(keyring["tmp"] / "x.key"),
+            "--pub", str(keyring["tmp"] / "x.pub"),
+        ])
+        assert code == 2
+
+    def test_missing_file_clean_error(self, keyring):
+        code = _run([
+            "verify-update", "--server-pub", str(keyring["server_pub"]),
+            "--infile", str(keyring["tmp"] / "nope.bin"),
+        ])
+        assert code == 2
+
+    def test_demo(self):
+        assert _run(["demo"]) == 0

@@ -1,0 +1,82 @@
+"""Tests for the shared byte-encoding helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.encoding import (
+    byte_length,
+    int_from_bytes,
+    int_to_bytes,
+    pack_chunks,
+    unpack_chunks,
+    xor_bytes,
+)
+from repro.errors import EncodingError
+
+
+class TestIntBytes:
+    def test_roundtrip(self):
+        assert int_from_bytes(int_to_bytes(12345, 4)) == 12345
+
+    def test_exact_width(self):
+        assert int_to_bytes(1, 8) == b"\x00" * 7 + b"\x01"
+
+    def test_negative_raises(self):
+        with pytest.raises(EncodingError):
+            int_to_bytes(-1, 4)
+
+    def test_overflow_raises(self):
+        with pytest.raises(EncodingError):
+            int_to_bytes(256, 1)
+
+    def test_byte_length(self):
+        assert byte_length(0) == 1
+        assert byte_length(255) == 1
+        assert byte_length(256) == 2
+
+    @given(st.integers(0, 2**128 - 1))
+    def test_roundtrip_property(self, n):
+        assert int_from_bytes(int_to_bytes(n, 16)) == n
+
+
+class TestChunkFraming:
+    def test_roundtrip(self):
+        chunks = [b"", b"a", b"hello", b"\x00" * 100]
+        assert unpack_chunks(pack_chunks(*chunks)) == chunks
+
+    def test_empty(self):
+        assert unpack_chunks(pack_chunks()) == []
+
+    def test_unambiguous(self):
+        assert pack_chunks(b"ab", b"c") != pack_chunks(b"a", b"bc")
+
+    def test_truncated_count(self):
+        with pytest.raises(EncodingError):
+            unpack_chunks(b"\x00")
+
+    def test_truncated_chunk(self):
+        data = pack_chunks(b"hello")[:-2]
+        with pytest.raises(EncodingError):
+            unpack_chunks(data)
+
+    def test_trailing_garbage(self):
+        with pytest.raises(EncodingError):
+            unpack_chunks(pack_chunks(b"x") + b"junk")
+
+    def test_overrun_length(self):
+        bad = (1).to_bytes(4, "big") + (100).to_bytes(4, "big") + b"short"
+        with pytest.raises(EncodingError):
+            unpack_chunks(bad)
+
+    @given(st.lists(st.binary(max_size=50), max_size=8))
+    def test_roundtrip_property(self, chunks):
+        assert unpack_chunks(pack_chunks(*chunks)) == chunks
+
+
+class TestXor:
+    def test_basic(self):
+        assert xor_bytes(b"\x0f\xf0", b"\xff\xff") == b"\xf0\x0f"
+
+    def test_mismatch_raises(self):
+        with pytest.raises(EncodingError):
+            xor_bytes(b"a", b"ab")

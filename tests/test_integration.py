@@ -1,0 +1,167 @@
+"""Cross-module integration tests: full protocol flows over serialization.
+
+Everything here round-trips through bytes between steps, as a real
+deployment would (sender, server and receiver are separate processes in
+practice), and runs on both curve families.
+"""
+
+import pytest
+
+from repro.core.certification import CertificateAuthority, verify_rekeyed_public_key
+from repro.core.keys import ServerPublicKey, UserKeyPair, UserPublicKey
+from repro.core.timeserver import PassiveTimeServer, TimeBoundKeyUpdate, epoch_label
+from repro.core.tre import TimedReleaseScheme, TRECiphertext
+from repro.crypto.rng import seeded_rng
+
+
+class TestWireLevelFlow:
+    """Simulate three separate parties exchanging only byte strings."""
+
+    def test_full_flow_over_bytes(self, any_group):
+        group = any_group
+        rng = seeded_rng("wire")
+        scheme = TimedReleaseScheme(group)
+
+        # Server process: generate keys, publish public key bytes.
+        server = PassiveTimeServer(group, rng=rng)
+        server_pk_bytes = server.public_key.to_bytes(group)
+
+        # Receiver process: parse server key, publish own key bytes.
+        receiver_view_server = ServerPublicKey.from_bytes(group, server_pk_bytes)
+        receiver = UserKeyPair.generate(group, receiver_view_server, rng)
+        receiver_pk_bytes = receiver.public.to_bytes(group)
+
+        # Sender process: parse both keys, validate, encrypt, emit bytes.
+        sender_view_server = ServerPublicKey.from_bytes(group, server_pk_bytes)
+        sender_view_receiver = UserPublicKey.from_bytes(group, receiver_pk_bytes)
+        assert sender_view_receiver.verify_well_formed(group, sender_view_server)
+        ct_bytes = scheme.encrypt(
+            b"wire-level message", sender_view_receiver, sender_view_server,
+            b"T-wire", rng,
+        ).to_bytes(group)
+
+        # Server process: broadcast the update as bytes.
+        update_bytes = server.publish_update(b"T-wire").to_bytes(group)
+
+        # Receiver process: parse everything and decrypt.
+        ct = TRECiphertext.from_bytes(group, ct_bytes)
+        update = TimeBoundKeyUpdate.from_bytes(group, update_bytes)
+        plaintext = scheme.decrypt(ct, receiver, update, receiver_view_server)
+        assert plaintext == b"wire-level message"
+
+    def test_many_receivers_one_update(self, group):
+        """The headline scalability property at the protocol level: 20
+        receivers, 20 ciphertexts, ONE broadcast update opens them all."""
+        rng = seeded_rng("scale")
+        scheme = TimedReleaseScheme(group)
+        server = PassiveTimeServer(group, rng=rng)
+        label = epoch_label(7)
+        receivers = [
+            UserKeyPair.generate(group, server.public_key, rng) for _ in range(20)
+        ]
+        ciphertexts = [
+            scheme.encrypt(
+                f"msg-{i}".encode(), r.public, server.public_key, label, rng
+            )
+            for i, r in enumerate(receivers)
+        ]
+        update = server.publish_update(label)
+        assert server.updates_published == 1
+        for i, (r, ct) in enumerate(zip(receivers, ciphertexts)):
+            assert scheme.decrypt(ct, r, update) == f"msg-{i}".encode()
+
+    def test_missed_update_recovered_from_archive(self, group):
+        """§3: a receiver who missed the broadcast looks the update up
+        from the public archive later."""
+        rng = seeded_rng("archive")
+        scheme = TimedReleaseScheme(group)
+        server = PassiveTimeServer(group, rng=rng)
+        receiver = UserKeyPair.generate(group, server.public_key, rng)
+        labels = [epoch_label(i) for i in range(5)]
+        ct = scheme.encrypt(
+            b"missed me?", receiver.public, server.public_key, labels[2], rng
+        )
+        for label in labels:
+            server.publish_update(label)
+        # Much later: fetch from the archive, not the live broadcast.
+        update = server.lookup(labels[2])
+        assert scheme.decrypt(ct, receiver, update) == b"missed me?"
+
+
+class TestKeyLifecycle:
+    def test_password_receiver_to_server_change(self, group):
+        """A password-derived key, certified once, survives a time-server
+        migration without re-certification, and decrypts under the new
+        server."""
+        rng = seeded_rng("lifecycle")
+        scheme = TimedReleaseScheme(group)
+        old_server = PassiveTimeServer(group, rng=rng)
+        user = UserKeyPair.from_password(group, old_server.public_key, "correct horse")
+
+        ca = CertificateAuthority(group, rng)
+        cert = ca.issue(
+            b"alice", user.public.a_generator, old_server.public_key.generator
+        )
+
+        new_server = PassiveTimeServer(group, rng=rng)
+        rekeyed = user.rekey_to_server(group, new_server.public_key)
+        verify_rekeyed_public_key(
+            group, cert, new_server.public_key, rekeyed.public, ca
+        )
+
+        ct = scheme.encrypt(
+            b"post-migration mail", rekeyed.public, new_server.public_key,
+            b"T-new", rng,
+        )
+        update = new_server.publish_update(b"T-new")
+        assert scheme.decrypt(ct, rekeyed, update) == b"post-migration mail"
+
+    def test_update_is_cross_scheme_and_cross_user(self, group):
+        """One update simultaneously serves: plain TRE for two users, the
+        FO variant, the hybrid DEM, and epoch-key derivation."""
+        from repro.core.fujisaki_okamoto import FOTimedReleaseScheme
+        from repro.core.hybrid_tre import HybridTimedReleaseScheme
+        from repro.core.key_insulation import SafeDevice, decrypt_with_epoch_key
+
+        rng = seeded_rng("one-update")
+        server = PassiveTimeServer(group, rng=rng)
+        label = b"the-one-update"
+        u1 = UserKeyPair.generate(group, server.public_key, rng)
+        u2 = UserKeyPair.generate(group, server.public_key, rng)
+        tre = TimedReleaseScheme(group)
+        fo = FOTimedReleaseScheme(group)
+        hybrid = HybridTimedReleaseScheme(group)
+
+        c1 = tre.encrypt(b"m1", u1.public, server.public_key, label, rng)
+        c2 = tre.encrypt(b"m2", u2.public, server.public_key, label, rng)
+        c3 = fo.encrypt(b"m3", u1.public, server.public_key, label, rng)
+        c4 = hybrid.encrypt(b"m4" * 500, u2.public, server.public_key, label, rng)
+
+        update = server.publish_update(label)
+        assert tre.decrypt(c1, u1, update) == b"m1"
+        assert tre.decrypt(c2, u2, update) == b"m2"
+        assert fo.decrypt(c3, u1, update, server.public_key) == b"m3"
+        assert hybrid.decrypt(c4, u2, update) == b"m4" * 500
+        epoch_key = SafeDevice(group, u1, server.public_key).derive_epoch_key(update)
+        assert decrypt_with_epoch_key(group, c1, epoch_key) == b"m1"
+
+
+class TestCrossFamilyIsolation:
+    def test_families_are_separate_universes(self, group, group_b):
+        rng = seeded_rng("xfam")
+        server_a = PassiveTimeServer(group, rng=rng)
+        server_b = PassiveTimeServer(group_b, rng=rng)
+        update_b = server_b.publish_update(b"T")
+        # Mixing family-A keys into a family-B pairing is rejected, not
+        # silently accepted.
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            group_b.pair(update_b.point, server_a.public_key.generator)
+        # And parsing family-B bytes in family A fails or mismatches.
+        blob = update_b.to_bytes(group_b)
+        try:
+            parsed = TimeBoundKeyUpdate.from_bytes(group, blob)
+        except ReproError:
+            return
+        assert not parsed.verify(group, server_a.public_key)

@@ -1,0 +1,47 @@
+"""One end-to-end smoke test at production (ss512) parameters.
+
+Everything else runs on toy64 for speed; this single test exercises the
+full §5.1 flow at the 2005-era production size so a parameter-dependent
+bug (e.g. in cofactor handling or serialization widths) cannot hide
+behind the toy set.
+"""
+
+from repro.core.keys import UserKeyPair, UserPublicKey
+from repro.core.timeserver import PassiveTimeServer, TimeBoundKeyUpdate
+from repro.core.tre import TimedReleaseScheme, TRECiphertext
+from repro.crypto.rng import seeded_rng
+from repro.pairing.api import PairingGroup
+
+
+def test_ss512_full_flow_over_wire():
+    rng = seeded_rng("ss512-smoke")
+    group = PairingGroup("ss512", family="A")
+    scheme = TimedReleaseScheme(group)
+    server = PassiveTimeServer(group, rng=rng)
+    receiver = UserKeyPair.generate(group, server.public_key, rng)
+
+    # Wire round trips at full width.
+    receiver_pub = UserPublicKey.from_bytes(
+        group, receiver.public.to_bytes(group)
+    )
+    assert receiver_pub.verify_well_formed(group, server.public_key)
+
+    message = b"production-size smoke test"
+    label = b"2031-06-01T00:00Z"
+    ct_bytes = scheme.encrypt(
+        message, receiver_pub, server.public_key, label, rng
+    ).to_bytes(group)
+    update_bytes = server.publish_update(label).to_bytes(group)
+
+    ciphertext = TRECiphertext.from_bytes(group, ct_bytes)
+    update = TimeBoundKeyUpdate.from_bytes(group, update_bytes)
+    assert update.verify(group, server.public_key)
+    assert scheme.decrypt(ciphertext, receiver, update, server.public_key) == message
+
+    # Compressed update transport at full width.
+    compressed = group.point_to_bytes_compressed(update.point)
+    assert len(compressed) == 65  # 1 + 512/8
+    rebuilt = TimeBoundKeyUpdate(
+        label, group.point_from_bytes_compressed(compressed)
+    )
+    assert scheme.decrypt(ciphertext, receiver, rebuilt) == message

@@ -1,0 +1,136 @@
+"""Robustness: every deserializer rejects corrupted input *cleanly*.
+
+A wire-facing library must never crash with an unrelated exception (or
+silently accept) on malformed bytes.  These tests fuzz each
+``from_bytes`` with truncations, bit flips and random blobs and require
+every failure to be a :class:`repro.errors.ReproError` subclass — and
+every successful parse to re-serialize to the same bytes or decrypt to
+the wrong plaintext, never to crash elsewhere.
+"""
+
+import random
+
+from repro.core.keys import ServerPublicKey, UserPublicKey
+from repro.core.resilient import ResilientTimeServer, ResilientUpdate
+from repro.core.threshold import ThresholdTimeServer, UpdateShare
+from repro.core.timeserver import TimeBoundKeyUpdate
+from repro.core.tre import TimedReleaseScheme, TRECiphertext
+from repro.errors import ReproError
+
+FUZZ_ROUNDS = 40
+
+
+def _mutations(blob: bytes, rng: random.Random):
+    yield b""
+    yield blob[:1]
+    yield blob[:-1]
+    yield blob + b"\x00"
+    for _ in range(FUZZ_ROUNDS):
+        kind = rng.randrange(3)
+        if kind == 0 and blob:  # bit flip
+            index = rng.randrange(len(blob))
+            mutated = bytearray(blob)
+            mutated[index] ^= 1 << rng.randrange(8)
+            yield bytes(mutated)
+        elif kind == 1:  # truncation
+            yield blob[: rng.randrange(len(blob) + 1)]
+        else:  # random garbage of similar size
+            yield rng.randbytes(len(blob) or 8)
+
+
+def _assert_clean(parser, blob, reencode=None):
+    """Parsing must either raise a ReproError or round-trip coherently."""
+    rng = random.Random(0xF422)
+    for mutated in _mutations(blob, rng):
+        try:
+            parsed = parser(mutated)
+        except ReproError:
+            continue
+        if reencode is not None:
+            assert reencode(parsed) == mutated
+
+
+class TestWireRobustness:
+    def test_server_public_key(self, group, server):
+        blob = server.public_key.to_bytes(group)
+        _assert_clean(
+            lambda b: ServerPublicKey.from_bytes(group, b),
+            blob,
+            reencode=lambda k: k.to_bytes(group),
+        )
+
+    def test_user_public_key(self, group, user):
+        blob = user.public.to_bytes(group)
+        _assert_clean(
+            lambda b: UserPublicKey.from_bytes(group, b),
+            blob,
+            reencode=lambda k: k.to_bytes(group),
+        )
+
+    def test_update(self, group, server):
+        blob = server.publish_update(b"fuzz-update").to_bytes(group)
+        _assert_clean(
+            lambda b: TimeBoundKeyUpdate.from_bytes(group, b),
+            blob,
+            reencode=lambda u: u.to_bytes(group),
+        )
+
+    def test_tre_ciphertext(self, group, server, user, rng):
+        scheme = TimedReleaseScheme(group)
+        ct = scheme.encrypt(b"fuzz me", user.public, server.public_key, b"t", rng)
+        _assert_clean(
+            lambda b: TRECiphertext.from_bytes(group, b),
+            ct.to_bytes(group),
+            reencode=lambda c: c.to_bytes(group),
+        )
+
+    def test_update_share(self, group, rng):
+        coordinator, members = ThresholdTimeServer.setup(group, 3, 2, rng)
+        blob = members[0].issue_update_share(b"t").to_bytes(group)
+        _assert_clean(
+            lambda b: UpdateShare.from_bytes(group, b),
+            blob,
+            reencode=lambda s: s.to_bytes(group),
+        )
+
+    def test_resilient_update(self, group, rng):
+        server = ResilientTimeServer(group, 4, rng)
+        blob = server.publish_update(9).to_bytes(group)
+        _assert_clean(
+            lambda b: ResilientUpdate.from_bytes(group, b),
+            blob,
+            reencode=lambda u: u.to_bytes(group),
+        )
+
+
+class TestRoundTrips:
+    """The happy path for the newly-serialized types."""
+
+    def test_update_share_roundtrip(self, group, rng):
+        coordinator, members = ThresholdTimeServer.setup(group, 3, 2, rng)
+        share = members[1].issue_update_share(b"t-x")
+        restored = UpdateShare.from_bytes(group, share.to_bytes(group))
+        assert restored == share
+        assert coordinator.verify_share(restored)
+
+    def test_resilient_update_roundtrip(self, group, rng):
+        from repro.core.resilient import ResilientTRE
+
+        server = ResilientTimeServer(group, 5, rng)
+        scheme = ResilientTRE(group, server.tree, server.public_key)
+        user = scheme.generate_user_keypair(server.public_key, rng)
+        ct = scheme.encrypt(b"over the wire", user.public, 6, rng)
+        update = server.publish_update(20)
+        restored = ResilientUpdate.from_bytes(group, update.to_bytes(group))
+        assert restored == update
+        assert scheme.decrypt(ct, user, restored, rng) == b"over the wire"
+
+    def test_combined_threshold_update_is_wire_compatible(self, group, rng):
+        """A threshold-combined update serializes as an ordinary update."""
+        coordinator, members = ThresholdTimeServer.setup(group, 4, 2, rng)
+        update = coordinator.combine(
+            [m.issue_update_share(b"t-wire") for m in members[:2]]
+        )
+        blob = update.to_bytes(group)
+        restored = TimeBoundKeyUpdate.from_bytes(group, blob)
+        assert restored.verify(group, coordinator.public_key)
