@@ -48,6 +48,7 @@ from repro.baselines.elgamal import (
     ExponentialElGamal,
 )
 from repro.crypto.authenc import aead_decrypt, aead_encrypt
+from repro.crypto.ct import bytes_eq
 from repro.crypto.kdf import derive_key
 from repro.ec.point import CurvePoint
 from repro.encoding import xor_bytes
@@ -238,7 +239,7 @@ class COTReceiver:
             digest = hash_bytes(
                 self.group.point_to_bytes(candidate), tag="repro:cot:commit"
             )[:32]
-            if digest == response.kappa_commitment:
+            if bytes_eq(digest, response.kappa_commitment):
                 kappa_point = candidate
                 break
         if kappa_point is None:

@@ -7,12 +7,14 @@ pairing schemes in :mod:`repro.core` establish short keys and the
 encrypt-then-MAC DEM here protects arbitrary-length payloads.
 """
 
+from repro.crypto.ct import bytes_eq
 from repro.crypto.kdf import derive_key
 from repro.crypto.stream import keystream, stream_xor
 from repro.crypto.mac import compute_mac, verify_mac
 from repro.crypto.authenc import aead_decrypt, aead_encrypt
 
 __all__ = [
+    "bytes_eq",
     "derive_key",
     "keystream",
     "stream_xor",

@@ -1,0 +1,26 @@
+"""Constant-time comparison helpers.
+
+Python's ``==`` on ``bytes`` short-circuits at the first differing
+byte, so comparing an attacker-supplied value against a secret leaks
+the length of the matching prefix through timing.  Every secret
+comparison in this library (MAC tags, commitments, derived keys) goes
+through :func:`bytes_eq`; the RP102 lint rule enforces it.
+"""
+
+from __future__ import annotations
+
+import hmac
+
+
+def bytes_eq(a: bytes, b: bytes) -> bool:
+    """Constant-time equality of two byte strings.
+
+    Wraps :func:`hmac.compare_digest` with a strict type check so a
+    ``str`` can never silently take the non-constant-time path the
+    stdlib allows for ASCII arguments.
+    """
+    if not isinstance(a, (bytes, bytearray, memoryview)) or not isinstance(
+        b, (bytes, bytearray, memoryview)
+    ):
+        raise TypeError("bytes_eq compares bytes-like values only")
+    return hmac.compare_digest(bytes(a), bytes(b))

@@ -5,6 +5,8 @@ from __future__ import annotations
 import hashlib
 import hmac
 
+from repro.crypto.ct import bytes_eq
+
 MAC_BYTES = 32
 
 
@@ -18,5 +20,11 @@ def compute_mac(key: bytes, *parts: bytes) -> bytes:
 
 
 def verify_mac(key: bytes, tag: bytes, *parts: bytes) -> bool:
-    """Constant-time check of ``tag`` against the recomputed MAC."""
-    return hmac.compare_digest(tag, compute_mac(key, *parts))
+    """Constant-time check of ``tag`` against the recomputed MAC.
+
+    A wrong-length tag can never verify; rejecting it up front keeps
+    the comparison length-independent of attacker input.
+    """
+    if len(tag) != MAC_BYTES:
+        return False
+    return bytes_eq(tag, compute_mac(key, *parts))

@@ -20,4 +20,6 @@ def system_rng() -> random.Random:
 
 def seeded_rng(seed: int | bytes | str) -> random.Random:
     """A deterministic RNG for tests, examples and benchmarks."""
+    # lint: allow[rng-discipline] the one sanctioned Mersenne-Twister
+    # constructor; callers outside tests/benchmarks/sim are linted (RP101)
     return random.Random(seed)

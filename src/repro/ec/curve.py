@@ -9,7 +9,7 @@ works.  Scalar multiplication runs in Jacobian projective coordinates so a
 
 from __future__ import annotations
 
-from repro.errors import EncodingError, NotOnCurveError, ParameterError
+from repro.errors import DecodingError, NotOnCurveError, ParameterError
 from repro.ec.point import CurvePoint
 
 
@@ -71,15 +71,25 @@ class EllipticCurve:
                 return CurvePoint(self, x, y)
 
     def point_from_bytes(self, data: bytes) -> CurvePoint:
-        """Decode the uncompressed encoding from ``CurvePoint.to_bytes``."""
+        """Decode the uncompressed encoding from ``CurvePoint.to_bytes``.
+
+        Structural failures raise :class:`DecodingError`; coordinates
+        that parse but miss the curve raise
+        :class:`~repro.errors.NotOnCurveError` (both are
+        ``EncodingError`` subclasses in spirit and ``ReproError`` in
+        fact).  The on-curve check runs before the point escapes —
+        subgroup checks are the caller's job, since a bare curve has no
+        distinguished subgroup (``PairingGroup.point_from_bytes`` adds
+        it).
+        """
         if data == b"\x00":
             return self.infinity()
         if not data or data[0] != 0x04:
-            raise EncodingError("bad point encoding prefix")
+            raise DecodingError("bad point encoding prefix")
         body = data[1:]
         half = len(body) // 2
         if len(body) != 2 * half or half != self.field.element_bytes:
-            raise EncodingError("bad point encoding length")
+            raise DecodingError("bad point encoding length")
         x = self.field.from_bytes(body[:half])
         y = self.field.from_bytes(body[half:])
         return self.point(x, y)

@@ -88,6 +88,18 @@ class CurvePoint:
             return b"\x00"
         return b"\x04" + self.x.to_bytes() + self.y.to_bytes()
 
+    @classmethod
+    def from_bytes(cls, curve, data: bytes) -> "CurvePoint":
+        """Inverse of :meth:`to_bytes`, with on-curve validation.
+
+        Delegates to ``curve.point_from_bytes``, which raises
+        :class:`~repro.errors.DecodingError` on malformed framing and
+        :class:`~repro.errors.NotOnCurveError` on off-curve
+        coordinates — decoded coordinates never become a live point
+        unvalidated.
+        """
+        return curve.point_from_bytes(data)
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, CurvePoint):
             return NotImplemented

@@ -8,7 +8,7 @@ module frames data the same way.
 
 from __future__ import annotations
 
-from repro.errors import EncodingError
+from repro.errors import DecodingError, EncodingError
 
 
 def int_to_bytes(value: int, length: int) -> bytes:
@@ -63,19 +63,19 @@ def pack_chunks(*chunks: bytes) -> bytes:
 def unpack_chunks(data: bytes) -> list[bytes]:
     """Parse a byte string produced by :func:`pack_chunks`."""
     if len(data) < 4:
-        raise EncodingError("truncated chunk framing: missing count")
+        raise DecodingError("truncated chunk framing: missing count")
     count = int.from_bytes(data[:4], "big")
     offset = 4
     chunks: list[bytes] = []
     for index in range(count):
         if offset + 4 > len(data):
-            raise EncodingError(f"truncated chunk framing at chunk {index}")
+            raise DecodingError(f"truncated chunk framing at chunk {index}")
         length = int.from_bytes(data[offset:offset + 4], "big")
         offset += 4
         if offset + length > len(data):
-            raise EncodingError(f"chunk {index} overruns buffer")
+            raise DecodingError(f"chunk {index} overruns buffer")
         chunks.append(data[offset:offset + length])
         offset += length
     if offset != len(data):
-        raise EncodingError(f"{len(data) - offset} trailing bytes after chunks")
+        raise DecodingError(f"{len(data) - offset} trailing bytes after chunks")
     return chunks

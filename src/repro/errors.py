@@ -36,6 +36,16 @@ class EncodingError(ReproError):
     """A byte string could not be decoded into the expected object."""
 
 
+class DecodingError(EncodingError):
+    """Malformed bytes at a deserialization boundary.
+
+    Raised when wire input fails structural validation — bad framing,
+    wrong length, an unknown prefix, or coordinates that do not lie on
+    the expected curve/subgroup.  Subclasses :class:`EncodingError` so
+    existing ``except EncodingError`` handlers keep working.
+    """
+
+
 class KeyValidationError(ReproError):
     """A public key failed its well-formedness check (Encrypt step 1)."""
 

@@ -1,0 +1,57 @@
+"""repro.lint — a crypto-hygiene static analyzer for this repository.
+
+The paper's security argument assumes implementation hygiene that no
+test can fully enforce: secret scalars drawn from a CSPRNG, secrets
+compared in constant time, group elements validated at deserialization
+boundaries, and domain-separated hashing.  This package walks the
+source tree with :mod:`ast` (stdlib only, no third-party dependency)
+and enforces those invariants as machine-checkable rules:
+
+========  ================  ====================================================
+Rule id   Name              Invariant
+========  ================  ====================================================
+RP101     rng-discipline    no ambient ``random.*`` in crypto modules; secret
+                            randomness flows from an injected rng or
+                            ``repro.crypto.rng.system_rng``
+RP102     ct-compare        no ``==``/``!=`` on secret-named values; use
+                            ``repro.crypto.ct.bytes_eq``
+RP103     secret-leak       secret-named values never reach f-strings, ``repr``,
+                            ``print``, logging, or exception messages
+RP104     point-validation  decoded group elements are validated (on-curve +
+                            subgroup) before they escape the decoder
+RP105     hash-domain       no raw ``a + b`` concatenation fed to a hash; core
+                            code uses the domain-separated helpers
+========  ================  ====================================================
+
+Suppression is explicit and reviewable: an inline
+``# lint: allow[rule-name] justification`` waiver on (or directly
+above) the offending line, or an entry in the checked-in baseline file
+for grandfathered findings.  ``python -m repro.lint src/`` runs the
+analyzer; ``tests/lint/test_tree_is_clean.py`` gates the pytest suite.
+
+See ``docs/STATIC_ANALYSIS.md`` for the rule-by-rule rationale.
+"""
+
+from __future__ import annotations
+
+from repro.lint.baseline import format_baseline, load_baseline
+from repro.lint.engine import (
+    LintReport,
+    lint_paths,
+    lint_source,
+    split_by_baseline,
+)
+from repro.lint.findings import Finding
+from repro.lint.rules import ALL_RULES, get_rule
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "LintReport",
+    "format_baseline",
+    "get_rule",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "split_by_baseline",
+]

@@ -1,0 +1,58 @@
+"""Baseline (grandfathered findings) persistence.
+
+The baseline file is a checked-in list of finding fingerprints that are
+tolerated — typically pre-existing findings whose fix is deliberate
+follow-up work.  Each line is::
+
+    <rule> <path> <snippet-hash> <occurrence>
+
+``#`` starts a comment.  The gate fails on any finding *not* in the
+baseline, and also on *stale* entries (baselined findings that no
+longer occur), so the file can only shrink silently, never rot.
+Regenerate with ``python -m repro.lint --write-baseline <paths>``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint.findings import Finding
+
+_HEADER = """\
+# repro.lint baseline — grandfathered findings.
+#
+# Format: <rule> <path> <snippet-hash> <occurrence>
+# Regenerate with: PYTHONPATH=src python -m repro.lint src --write-baseline
+# New code must not add entries here; fix the finding or add an inline
+# `# lint: allow[rule] justification` waiver instead.
+"""
+
+
+def load_baseline(path: str | Path) -> set[str]:
+    """Read a baseline file into a set of fingerprints.
+
+    A missing file is an empty baseline, so fresh checkouts and new
+    tools agree on behavior.
+    """
+    path = Path(path)
+    if not path.exists():
+        return set()
+    fingerprints: set[str] = set()
+    for raw in path.read_text().splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) != 4:
+            raise ValueError(f"malformed baseline line: {raw!r}")
+        fingerprints.add("|".join(parts))
+    return fingerprints
+
+
+def format_baseline(findings: list[Finding]) -> str:
+    """Render findings as baseline file content."""
+    body = "".join(
+        " ".join(finding.fingerprint.split("|")) + "\n"
+        for finding in sorted(findings, key=lambda f: (f.path, f.line, f.rule))
+    )
+    return _HEADER + body

@@ -1,0 +1,124 @@
+"""Command-line entry point: ``python -m repro.lint [paths...]``.
+
+Exit status: 0 when the tree is clean (no unsuppressed findings and no
+stale baseline entries), 1 otherwise, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.lint.baseline import format_baseline, load_baseline
+from repro.lint.engine import lint_paths, run
+from repro.lint.rules import ALL_RULES
+
+DEFAULT_BASELINE = "lint-baseline.txt"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description="Crypto-hygiene static analysis for the repro codebase.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"], help="files or directories (default: src)"
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        help=f"baseline file of grandfathered findings (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="report every finding, ignoring the baseline",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the baseline file to grandfather all current findings",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="describe the rules and exit"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.id} {rule.name}: {rule.rationale}")
+        return 0
+
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        print(f"repro.lint: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        findings, _, _ = lint_paths(args.paths)
+        Path(args.baseline).write_text(format_baseline(findings))
+        print(
+            f"wrote {len(findings)} grandfathered finding(s) to {args.baseline}"
+        )
+        return 0
+
+    try:
+        baseline = set() if args.no_baseline else load_baseline(args.baseline)
+    except ValueError as exc:
+        print(f"repro.lint: {exc}", file=sys.stderr)
+        return 2
+    report = run(args.paths, baseline)
+
+    if args.format == "json":
+        payload = {
+            "findings": [
+                {
+                    "rule": f.rule,
+                    "name": f.name,
+                    "path": f.path,
+                    "line": f.line,
+                    "col": f.col,
+                    "message": f.message,
+                    "hint": f.hint,
+                    "fingerprint": f.fingerprint,
+                }
+                for f in report.new
+            ],
+            "baselined": len(report.baselined),
+            "stale_baseline": report.stale_baseline,
+            "waived": report.waived,
+            "files_checked": report.files_checked,
+        }
+        print(json.dumps(payload, indent=2))
+        return 0 if report.clean else 1
+
+    for finding in report.new:
+        print(finding.render())
+    for stale in report.stale_baseline:
+        print(
+            f"stale baseline entry (finding fixed — regenerate with "
+            f"--write-baseline): {stale}"
+        )
+    status = "clean" if report.clean else "FAILED"
+    print(
+        f"repro.lint: {status} — {report.files_checked} file(s), "
+        f"{len(report.new)} new finding(s), {len(report.baselined)} baselined, "
+        f"{report.waived} waived, {len(report.stale_baseline)} stale baseline entr(ies)"
+    )
+    return 0 if report.clean else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,175 @@
+"""The lint engine: file discovery, parsing, rule dispatch, waivers.
+
+Waivers are inline comments of the form::
+
+    risky_call()  # lint: allow[rule-name] why this is sound here
+
+naming the rule by id (``RP104``) or name (``point-validation``),
+optionally several separated by commas.  A waiver applies to its own
+line or, when placed alone on a line, to the line directly below (for
+statements that do not fit on one line).  Waivers are expected to carry
+a justification; the gate counts them so reviews can watch the trend.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.findings import Finding, attach_fingerprints
+from repro.lint.rules import ALL_RULES, ModuleContext, Rule
+
+_WAIVER = re.compile(r"#\s*lint:\s*allow\[([^\]]+)\]")
+
+
+@dataclass
+class LintReport:
+    """Outcome of a lint run, split for gating."""
+
+    new: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    stale_baseline: list[str] = field(default_factory=list)
+    waived: int = 0
+    files_checked: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.new and not self.stale_baseline
+
+
+def package_relative(path: str) -> str:
+    """Path relative to the ``repro`` package, "" when not inside it.
+
+    ``src/repro/core/tre.py`` -> ``core/tre.py``; used for rule scoping
+    so results do not depend on where the tree is checked out.
+    """
+    parts = Path(path).as_posix().split("/")
+    if "repro" in parts:
+        index = len(parts) - 1 - parts[::-1].index("repro")
+        return "/".join(parts[index + 1 :])
+    return ""
+
+
+def _waived_rules(lines: list[str], line: int) -> set[str]:
+    """Rule ids/names waived for 1-based source line ``line``.
+
+    A waiver counts when it sits on the offending line itself or in the
+    contiguous block of comment-only lines directly above it (waiver
+    comments may wrap across several lines).
+    """
+    waived: set[str] = set()
+
+    def collect(text: str) -> None:
+        match = _WAIVER.search(text)
+        if match:
+            waived.update(part.strip() for part in match.group(1).split(","))
+
+    if 0 < line <= len(lines):
+        collect(lines[line - 1])
+    candidate = line - 1
+    while 0 < candidate <= len(lines):
+        text = lines[candidate - 1]
+        if not text.strip() or not text.lstrip().startswith("#"):
+            break
+        collect(text)
+        candidate -= 1
+    return waived
+
+
+def lint_source(
+    source: str,
+    path: str,
+    rules: tuple[Rule, ...] = ALL_RULES,
+    package_path: str | None = None,
+) -> tuple[list[Finding], int]:
+    """Lint one module's text; returns (findings, waived_count).
+
+    ``path`` is what findings report; ``package_path`` overrides scope
+    resolution (used by fixture tests to pretend a snippet lives in,
+    say, ``core/``).
+    """
+    tree = ast.parse(source, filename=path)
+    lines = source.splitlines()
+    if package_path is None:
+        package_path = package_relative(path)
+    findings: list[Finding] = []
+    waived = 0
+    for rule in rules:
+        context = ModuleContext(
+            path=path,
+            package_path=package_path,
+            tree=tree,
+            lines=lines,
+        )
+        if not rule.applies_to(context):
+            continue
+        for finding in rule.check(context):
+            allowed = _waived_rules(lines, finding.line)
+            if finding.rule in allowed or finding.name in allowed:
+                waived += 1
+            else:
+                findings.append(finding)
+    # Fingerprint against the package-relative path so baselines survive
+    # both checkout moves and linting from a different working directory.
+    return attach_fingerprints(findings, lines, package_path or path), waived
+
+
+def iter_python_files(paths: list[str | Path]):
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+def lint_paths(
+    paths: list[str | Path], rules: tuple[Rule, ...] = ALL_RULES
+) -> tuple[list[Finding], int, int]:
+    """Lint files/trees; returns (findings, waived_count, files_checked)."""
+    findings: list[Finding] = []
+    waived = 0
+    checked = 0
+    for file_path in iter_python_files(paths):
+        source = file_path.read_text(encoding="utf-8")
+        file_findings, file_waived = lint_source(source, file_path.as_posix())
+        findings.extend(file_findings)
+        waived += file_waived
+        checked += 1
+    return findings, waived, checked
+
+
+def split_by_baseline(
+    findings: list[Finding], baseline: set[str]
+) -> tuple[list[Finding], list[Finding], list[str]]:
+    """Partition findings against a baseline.
+
+    Returns (new, baselined, stale_entries) where stale entries are
+    baseline fingerprints that matched nothing — evidence the finding
+    was fixed and the baseline needs regenerating.
+    """
+    new: list[Finding] = []
+    matched: list[Finding] = []
+    remaining = set(baseline)
+    for finding in findings:
+        if finding.fingerprint in remaining:
+            remaining.discard(finding.fingerprint)
+            matched.append(finding)
+        else:
+            new.append(finding)
+    return new, matched, sorted(remaining)
+
+
+def run(paths: list[str | Path], baseline: set[str] | None = None) -> LintReport:
+    """Full pipeline used by the CLI and the pytest gate."""
+    findings, waived, checked = lint_paths(paths)
+    new, matched, stale = split_by_baseline(findings, baseline or set())
+    return LintReport(
+        new=new,
+        baselined=matched,
+        stale_baseline=stale,
+        waived=waived,
+        files_checked=checked,
+    )

@@ -1,0 +1,42 @@
+"""Rule registry.
+
+To add a rule: subclass :class:`repro.lint.rules.base.Rule` in a new
+module here, give it a fresh ``RPxxx`` id and a kebab-case ``name``,
+append an instance to ``ALL_RULES``, document it in
+``docs/STATIC_ANALYSIS.md``, and add positive/negative fixtures under
+``tests/lint/fixtures/``.
+"""
+
+from __future__ import annotations
+
+from repro.lint.rules.base import CRYPTO_DIRS, ModuleContext, Rule
+from repro.lint.rules.constant_time import ConstantTimeRule
+from repro.lint.rules.hash_domain import HashDomainRule
+from repro.lint.rules.point_validation import PointValidationRule
+from repro.lint.rules.rng_discipline import RngDisciplineRule
+from repro.lint.rules.secret_leak import SecretLeakRule
+
+ALL_RULES: tuple[Rule, ...] = (
+    RngDisciplineRule(),
+    ConstantTimeRule(),
+    SecretLeakRule(),
+    PointValidationRule(),
+    HashDomainRule(),
+)
+
+
+def get_rule(identifier: str) -> Rule:
+    """Look a rule up by id ("RP101") or name ("rng-discipline")."""
+    for rule in ALL_RULES:
+        if identifier in (rule.id, rule.name):
+            return rule
+    raise KeyError(f"unknown lint rule {identifier!r}")
+
+
+__all__ = [
+    "ALL_RULES",
+    "CRYPTO_DIRS",
+    "ModuleContext",
+    "Rule",
+    "get_rule",
+]

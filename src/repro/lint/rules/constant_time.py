@@ -1,0 +1,91 @@
+"""RP102 — constant-time comparison of secrets.
+
+``==`` on ``bytes`` short-circuits at the first mismatching byte, so
+comparing an attacker-supplied tag against a computed MAC leaks the
+length of the matching prefix through timing — the classic oracle that
+forged Flickr and Xbox 360 API signatures.  Any equality test where
+either operand is *named like* a secret (tag, mac, key, digest, ...)
+must go through ``repro.crypto.ct.bytes_eq`` (a thin wrapper over
+``hmac.compare_digest``).
+
+Heuristics to stay quiet on legitimate code:
+
+* operands named with a clearly public token (``public_key``,
+  ``point_bytes``, ``key_path``...) are exempt;
+* comparisons against int/bool/None literals (length and sentinel
+  checks) are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.rules.base import Rule, name_tokens, terminal_name
+
+SECRET_TOKENS = frozenset(
+    {"tag", "mac", "key", "sk", "secret", "digest", "kappa", "seed", "password"}
+)
+PUBLIC_TOKENS = frozenset(
+    {
+        "public",
+        "pub",
+        "label",
+        "path",
+        "name",
+        "len",
+        "length",
+        "size",
+        "bytes",
+        "index",
+        "id",
+        "count",
+        "rate",
+    }
+)
+
+
+def _is_exempt_literal(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and (
+        node.value is None or isinstance(node.value, (bool, int))
+    )
+
+
+def secretish(node: ast.AST) -> str | None:
+    """The offending identifier if ``node`` looks secret-named."""
+    identifier = terminal_name(node)
+    if identifier is None:
+        return None
+    tokens = name_tokens(identifier)
+    if tokens & SECRET_TOKENS and not tokens & PUBLIC_TOKENS:
+        return identifier
+    return None
+
+
+class ConstantTimeRule(Rule):
+    id = "RP102"
+    name = "ct-compare"
+    rationale = (
+        "== / != on secrets short-circuits and leaks a timing oracle; "
+        "secret comparisons must use hmac.compare_digest"
+    )
+    hint = "use repro.crypto.ct.bytes_eq (wraps hmac.compare_digest)"
+    scopes = ("core", "crypto", "ec", "pairing", "baselines")
+
+    def check(self, context):
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not all(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                continue
+            operands = [node.left, *node.comparators]
+            if any(_is_exempt_literal(operand) for operand in operands):
+                continue
+            for operand in operands:
+                identifier = secretish(operand)
+                if identifier is not None:
+                    yield self.finding(
+                        context,
+                        node,
+                        f"variable-time comparison involving `{identifier}`",
+                    )
+                    break

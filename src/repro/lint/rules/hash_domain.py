@@ -1,0 +1,82 @@
+"""RP105 — domain-separated, unambiguously framed hashing.
+
+``H(a + b)`` is ambiguous: ``H("ab" + "c") == H("a" + "bc")``, so two
+different logical inputs collide and a MAC/oracle built on the hash can
+be confused across contexts.  The repo's sanctioned pattern is the one
+``crypto/mac.py`` and ``pairing/hashing.py`` already use: an explicit
+ASCII domain tag plus length-framing of every variable-length part.
+
+Checks inside ``core``, ``crypto`` and ``pairing``:
+
+* in ``core/``: *any* direct ``hashlib.*``/``hmac.new`` call is flagged
+  — scheme-level code must use the domain-separated helpers
+  (``pairing.hashing.hash_bytes``, ``crypto.kdf.derive_key``,
+  ``crypto.mac.compute_mac``) so tags stay centralized;
+* elsewhere: a hash constructor or ``.update()`` whose argument
+  contains raw ``+`` concatenation is flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.rules.base import Rule, collect_imports, contains_add
+
+
+class HashDomainRule(Rule):
+    id = "RP105"
+    name = "hash-domain"
+    rationale = (
+        "raw concatenation fed to a hash is ambiguous across inputs and "
+        "contexts; inputs must be length-framed and domain-tagged"
+    )
+    hint = (
+        "use pairing.hashing.hash_bytes / crypto.kdf.derive_key / "
+        "crypto.mac.compute_mac, or length-frame each variable-length part"
+    )
+    scopes = ("core", "crypto", "pairing")
+
+    def check(self, context):
+        collect_imports(context, ("hashlib", "hmac"))
+        hashlib_aliases = context.aliases_of("hashlib")
+        hmac_aliases = context.aliases_of("hmac")
+        in_core = context.top_dir == "core"
+        uses_hashing = bool(hashlib_aliases or hmac_aliases)
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            is_hash_call = (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and (
+                    func.value.id in hashlib_aliases
+                    or (func.value.id in hmac_aliases and func.attr in ("new", "digest"))
+                )
+            )
+            if is_hash_call:
+                if in_core:
+                    yield self.finding(
+                        context,
+                        node,
+                        f"direct `{func.value.id}.{func.attr}` call in core/ — "
+                        "use the domain-separated helpers",
+                    )
+                    continue
+                if any(contains_add(arg) for arg in node.args):
+                    yield self.finding(
+                        context,
+                        node,
+                        "raw `+` concatenation fed to a hash function",
+                    )
+            elif (
+                uses_hashing
+                and isinstance(func, ast.Attribute)
+                and func.attr == "update"
+                and any(contains_add(arg) for arg in node.args)
+            ):
+                yield self.finding(
+                    context,
+                    node,
+                    "raw `+` concatenation fed to a hash .update()",
+                )

@@ -1,0 +1,89 @@
+"""RP104 — validate group elements at deserialization boundaries.
+
+Invalid-curve and small-subgroup attacks work by feeding a decoder
+coordinates that satisfy *no* equation (or the equation of a weaker
+curve/subgroup) and letting the scheme's arithmetic leak the secret
+scalar against them.  The defense is purely procedural — every decode
+path must establish on-curve + subgroup membership before the element
+escapes — so it is exactly the kind of invariant a linter can hold.
+
+Two checks inside the patrolled packages:
+
+* a *decoder* (function named ``*from_bytes*``, ``*decode*``,
+  ``*deserialize*``, ``*parse*``, ``*load*``) that constructs a group
+  element (``CurvePoint(...)``, ``unchecked_point(...)``,
+  ``GTElement(...)``) must also call a validator in the same function;
+* any *public* function that calls ``unchecked_point``/``CurvePoint``
+  without a validator is flagged — internal helpers (name starting
+  with ``_``) are trusted, public surface is not.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.lint.rules.base import Rule, call_name
+
+DECODER_NAME = re.compile(r"(from_bytes|from_hex|decode|deserialize|parse|load)")
+
+CONSTRUCTORS = frozenset({"unchecked_point", "CurvePoint"})
+DECODED_CONSTRUCTORS = CONSTRUCTORS | {"GTElement"}
+VALIDATORS = frozenset(
+    {
+        "point",  # EllipticCurve.point validates on-curve
+        "contains",
+        "point_from_x",
+        "point_from_bytes",
+        "point_from_bytes_compressed",
+        "ensure_in_subgroup",
+        "in_subgroup",
+        "in_group",
+        "in_g1",
+        "in_g2",
+        "ensure_in_gt",
+        "clear_cofactor",  # projects into the prime-order subgroup
+        "ensure_well_formed",
+        "verify_well_formed",
+    }
+)
+
+
+class PointValidationRule(Rule):
+    id = "RP104"
+    name = "point-validation"
+    rationale = (
+        "deserialized points must pass on-curve + subgroup checks before "
+        "use, or invalid-curve / small-subgroup attacks recover secrets"
+    )
+    hint = (
+        "route through a validating decoder (curve.point, "
+        "group.point_from_bytes, ensure_in_subgroup) before the element escapes"
+    )
+    scopes = ("core", "crypto", "pairing", "baselines")
+
+    def check(self, context):
+        for node in ast.walk(context.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            is_decoder = bool(DECODER_NAME.search(node.name))
+            is_public = not node.name.startswith("_")
+            if not (is_decoder or is_public):
+                continue
+            calls = [sub for sub in ast.walk(node) if isinstance(sub, ast.Call)]
+            called = {call_name(sub) for sub in calls}
+            if called & VALIDATORS:
+                continue
+            watched = DECODED_CONSTRUCTORS if is_decoder else CONSTRUCTORS
+            for sub in calls:
+                constructor = call_name(sub)
+                if constructor in watched:
+                    what = (
+                        "decoder constructs" if is_decoder else "public function constructs"
+                    )
+                    yield self.finding(
+                        context,
+                        sub,
+                        f"{what} `{constructor}` result without on-curve/"
+                        f"subgroup validation in `{node.name}`",
+                    )

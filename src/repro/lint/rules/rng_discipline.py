@@ -1,0 +1,70 @@
+"""RP101 — RNG discipline.
+
+Secret scalars (user secrets ``a``, server secrets ``s``, blinding
+factors ``r``) must come from a CSPRNG.  The library's convention is
+dependency injection: every key-generating function takes an ``rng``
+argument, production callers pass ``repro.crypto.rng.system_rng()``,
+and tests pass ``seeded_rng(...)``.  This rule keeps the convention
+honest inside the crypto tree:
+
+* no calls into the ambient ``random`` module (``random.Random()``,
+  ``random.randrange(...)``, names imported ``from random import ...``)
+  — the Mersenne Twister is predictable from output and its ambient
+  global is shared, seedable state;
+* no ``seeded_rng(...)`` calls — deterministic randomness belongs in
+  ``tests/``, ``benchmarks/``, ``sim/`` and ``examples/`` only.
+
+Using ``random.Random`` as a *type annotation* stays legal: the
+injected-rng protocol is typed against it on purpose.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.rules.base import Rule, call_name, collect_imports
+
+
+class RngDisciplineRule(Rule):
+    id = "RP101"
+    name = "rng-discipline"
+    rationale = (
+        "secret randomness must be injected or come from "
+        "repro.crypto.rng.system_rng(); ambient random.* is predictable"
+    )
+    hint = (
+        "take an rng parameter, or call repro.crypto.rng.system_rng(); "
+        "seeded_rng belongs in tests/benchmarks/sim/examples"
+    )
+    scopes = ("core", "crypto", "ec", "pairing", "math", "baselines")
+
+    def check(self, context):
+        collect_imports(context, ("random",))
+        random_aliases = context.aliases_of("random")
+        random_from = context.names_from("random")
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id in random_aliases
+            ):
+                yield self.finding(
+                    context,
+                    node,
+                    f"call into the ambient `random` module (random.{func.attr})",
+                )
+            elif isinstance(func, ast.Name) and func.id in random_from:
+                yield self.finding(
+                    context,
+                    node,
+                    f"call to `{func.id}` imported from the `random` module",
+                )
+            elif call_name(node) == "seeded_rng":
+                yield self.finding(
+                    context,
+                    node,
+                    "deterministic seeded_rng() in a production code path",
+                )

@@ -1,0 +1,109 @@
+"""RP103 — no secret material in human-readable output.
+
+Secrets that reach f-strings, ``repr``/``print``, loggers, or exception
+messages end up in logs, tracebacks, and crash reports — places with
+weaker access control than the process memory the scheme's proofs
+assume.  The rule flags any *secret-named* value (``sk``, ``secret``,
+``private``, ``password``, ``seed``...) appearing in one of those
+rendering contexts, anywhere in the tree.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.rules.base import Rule, name_tokens, terminal_name
+
+SECRET_TOKENS = frozenset(
+    {"sk", "secret", "private", "password", "passphrase", "seed"}
+)
+PUBLIC_TOKENS = frozenset({"public", "pub", "label", "path", "name", "id", "bytes"})
+
+_LOG_METHODS = frozenset(
+    {"debug", "info", "warning", "error", "exception", "critical", "log"}
+)
+
+
+# Rendering the *result* of these builtins reveals nothing about the
+# secret's value, so their argument subtrees are not scanned.
+_SAFE_WRAPPERS = frozenset({"len", "type", "bool", "id"})
+
+
+def _secret_uses(node: ast.AST):
+    stack = [node]
+    while stack:
+        sub = stack.pop()
+        if (
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Name)
+            and sub.func.id in _SAFE_WRAPPERS
+        ):
+            continue
+        identifier = terminal_name(sub)
+        if identifier is not None:
+            tokens = name_tokens(identifier)
+            if tokens & SECRET_TOKENS and not tokens & PUBLIC_TOKENS:
+                yield sub, identifier
+        stack.extend(ast.iter_child_nodes(sub))
+
+
+class SecretLeakRule(Rule):
+    id = "RP103"
+    name = "secret-leak"
+    rationale = (
+        "secrets rendered into f-strings, repr, print, logging or "
+        "exceptions escape into logs and tracebacks"
+    )
+    hint = (
+        "log a length, hash or placeholder instead; never interpolate "
+        "the secret value itself"
+    )
+    scopes = None  # everywhere
+
+    def check(self, context):
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.JoinedStr):
+                for part in node.values:
+                    if isinstance(part, ast.FormattedValue):
+                        for sub, identifier in _secret_uses(part.value):
+                            yield self.finding(
+                                context,
+                                sub,
+                                f"secret-named `{identifier}` formatted into an f-string",
+                            )
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(context, node)
+            elif isinstance(node, ast.Raise) and node.exc is not None:
+                # f-strings inside the raise are caught by the JoinedStr
+                # branch; this catches secrets passed as plain args.
+                exc = node.exc
+                args = exc.args if isinstance(exc, ast.Call) else [exc]
+                for arg in args:
+                    if isinstance(arg, (ast.Name, ast.Attribute)):
+                        for sub, identifier in _secret_uses(arg):
+                            yield self.finding(
+                                context,
+                                sub,
+                                f"secret-named `{identifier}` passed to a raised exception",
+                            )
+
+    def _check_call(self, context, node: ast.Call):
+        func = node.func
+        sink = None
+        if isinstance(func, ast.Name) and func.id in ("repr", "print"):
+            sink = func.id
+        elif isinstance(func, ast.Attribute) and func.attr in _LOG_METHODS:
+            receiver = terminal_name(func.value)
+            if receiver and name_tokens(receiver) & {"logging", "logger", "log"}:
+                sink = f"{receiver}.{func.attr}"
+        elif isinstance(func, ast.Attribute) and func.attr == "format":
+            sink = "str.format"
+        if sink is None:
+            return
+        for arg in [*node.args, *[kw.value for kw in node.keywords]]:
+            for sub, identifier in _secret_uses(arg):
+                yield self.finding(
+                    context,
+                    sub,
+                    f"secret-named `{identifier}` passed to {sink}()",
+                )

@@ -10,6 +10,7 @@ for larger inputs.
 from __future__ import annotations
 
 import random
+import secrets
 
 # Bases that make Miller-Rabin deterministic for n < 3,317,044,064,679,887,385,961,981.
 _DETERMINISTIC_BASES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
@@ -55,7 +56,9 @@ def is_probable_prime(n: int, rounds: int = 32, rng: random.Random | None = None
             return False
     if n < _DETERMINISTIC_LIMIT:
         return True
-    rng = rng or random.Random()
+    # Default to the CSPRNG: with Mersenne-Twister bases an adversary who
+    # predicts the state could hand us composites that pass every round.
+    rng = rng or secrets.SystemRandom()
     for _ in range(rounds):
         base = rng.randrange(2, n - 1)
         if _miller_rabin_witness(n, base, d, r):

@@ -24,7 +24,7 @@ from __future__ import annotations
 import random
 
 from repro.ec.point import CurvePoint
-from repro.errors import GroupMismatchError, ParameterError
+from repro.errors import GroupMismatchError, NotInSubgroupError, ParameterError
 from repro.math.quadratic import QuadraticElement
 from repro.pairing import hashing
 from repro.pairing.opcount import (
@@ -197,19 +197,19 @@ class PairingGroup:
         return bytes([prefix]) + point.x.to_bytes()
 
     def point_from_bytes_compressed(self, data: bytes) -> CurvePoint:
-        from repro.errors import EncodingError
+        from repro.errors import DecodingError
 
         if len(data) != self.compressed_point_bytes:
-            raise EncodingError(
+            raise DecodingError(
                 f"expected {self.compressed_point_bytes} compressed bytes, "
                 f"got {len(data)}"
             )
         if data[0] == 0x00:
             if any(data[1:]):
-                raise EncodingError("bad infinity encoding")
+                raise DecodingError("bad infinity encoding")
             return self.identity()
         if data[0] not in (0x02, 0x03):
-            raise EncodingError("bad compressed-point prefix")
+            raise DecodingError("bad compressed-point prefix")
         x = self.ssc.fp.from_bytes(data[1:])
         point = self.ssc.curve.point_from_x(x, y_parity=data[0] & 1)
         self.ssc.ensure_in_subgroup(point)
@@ -227,8 +227,31 @@ class PairingGroup:
     def gt_identity(self) -> GTElement:
         return GTElement(self, self.ssc.fp2.one())
 
-    def gt_from_bytes(self, data: bytes) -> GTElement:
-        return GTElement(self, self.ssc.fp2.from_bytes(data))
+    def ensure_in_gt(self, value: QuadraticElement) -> QuadraticElement:
+        """Reject ``Fp2`` elements outside the order-``q`` target group.
+
+        Membership needs two facts: the element is unitary (norm 1, so
+        the conjugate is the inverse every GT operation relies on) and
+        its order divides ``q``.  Accepting anything else would let a
+        malicious serialization smuggle in a small-order element and
+        bias the masks derived from it.
+        """
+        if not (value * value.conjugate()).is_one():
+            raise NotInSubgroupError("GT element is not unitary")
+        if not unitary_pow(value, self.q).is_one():
+            raise NotInSubgroupError("GT element is outside the order-q subgroup")
+        return value
+
+    def gt_from_bytes(self, data: bytes, check: bool = True) -> GTElement:
+        """Decode a GT element, validating subgroup membership.
+
+        ``check=False`` skips the order check for bytes from a trusted
+        in-process source (it costs one ``q``-bit exponentiation).
+        """
+        value = self.ssc.fp2.from_bytes(data)
+        if check:
+            self.ensure_in_gt(value)
+        return GTElement(self, value)
 
     def mask_bytes(self, gt: GTElement, length: int, tag: str = "repro:H2") -> bytes:
         """The paper's ``H2 : G2 → {0,1}^n`` mask-derivation oracle."""

@@ -52,6 +52,17 @@ _LOG_ATE_LOOP_COUNT = 63
 G2_COFACTOR = 2 * FIELD_MODULUS - CURVE_ORDER
 
 
+def _digest(tag: str, *parts: bytes) -> bytes:
+    """Domain-tagged SHA-512 over length-framed parts (RP105 pattern)."""
+    hasher = hashlib.sha512()
+    hasher.update(len(tag).to_bytes(2, "big"))
+    hasher.update(tag.encode())
+    for part in parts:
+        hasher.update(len(part).to_bytes(8, "big"))
+        hasher.update(part)
+    return hasher.digest()
+
+
 class BN254:
     """The BN254 pairing engine: groups, generators, ate pairing."""
 
@@ -134,6 +145,8 @@ class BN254:
             ((y0 - 9 * y1) % p, 0, 0, 0, 0, 0, y1, 0, 0, 0, 0, 0)
         )
         w = self.fq12.x()
+        # lint: allow[point-validation] the twist isomorphism maps curve
+        # points to curve points; validation happened when `point` was built
         return self.curve_g12.unchecked_point(nx * w.square(), ny * w * w.square())
 
     def _cast_g1(self, point: CurvePoint) -> CurvePoint:
@@ -211,9 +224,7 @@ class BN254:
     def hash_to_g1(self, data: bytes, tag: str = "repro:bn254:H1") -> CurvePoint:
         """Try-and-increment onto G1 (cofactor 1, p ≡ 3 mod 4 sqrt)."""
         for counter in range(512):
-            digest = hashlib.sha512(
-                tag.encode() + counter.to_bytes(4, "big") + data
-            ).digest()
+            digest = _digest(tag, counter.to_bytes(4, "big"), data)
             x = self.fp(int.from_bytes(digest, "big") % self.p)
             rhs = x.square() * x + self.fp(3)
             if rhs.is_zero():
@@ -222,6 +233,8 @@ class BN254:
                 y = rhs.sqrt()
                 if digest[0] & 1:
                     y = -y
+                # lint: allow[point-validation] y is a square root of the
+                # curve equation's RHS, so (x, y) is on G1 (cofactor 1)
                 return self.curve_g1.unchecked_point(x, y)
         raise ParameterError("hash_to_g1 exhausted its attempt budget")
 
@@ -234,11 +247,7 @@ class BN254:
         encoded = element.to_bytes()
         blocks = []
         for counter in range((length + 63) // 64):
-            blocks.append(
-                hashlib.sha512(
-                    tag.encode() + counter.to_bytes(4, "big") + encoded
-                ).digest()
-            )
+            blocks.append(_digest(tag, counter.to_bytes(4, "big"), encoded))
         return b"".join(blocks)[:length]
 
     def __repr__(self) -> str:

@@ -95,7 +95,10 @@ class SupersingularCurve:
         x = self.fp2.from_base(point.x)
         y = self.fp2.from_base(point.y)
         if self.family == FAMILY_A:
+            # lint: allow[point-validation] distortion maps send curve points
+            # to curve points; the input was validated when constructed
             return self.ext_curve.unchecked_point(-x, y * self.fp2.u())
+        # lint: allow[point-validation] same argument for the family-B map
         return self.ext_curve.unchecked_point(x * self._zeta, y)
 
     # ------------------------------------------------------------------
@@ -130,6 +133,9 @@ class SupersingularCurve:
         tag = f"repro:generator:{self.params.name}:{self.family}".encode()
         counter = 0
         while True:
+            # lint: allow[hash-domain] tag is the only variable-length part
+            # and the counter suffix is fixed-width; reframing would change
+            # every derived generator and the cross-version test vectors
             seed = hashlib.sha512(tag + counter.to_bytes(4, "big")).digest()
             candidate = self._map_seed_to_point(seed)
             if candidate is not None:

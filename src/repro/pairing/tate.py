@@ -76,6 +76,8 @@ class TatePairing:
         counter = 0
         rng_tag = f"repro:tate-aux:{self.ssc.params.name}:{self.ssc.family}"
         while len(points) < count:
+            # lint: allow[hash-domain] fixed-width counter after a constant
+            # tag; reframing would move the derived auxiliary points
             seed = hashlib.sha512(
                 rng_tag.encode() + counter.to_bytes(4, "big")
             ).digest()

@@ -1,0 +1,16 @@
+# lint-fixture: crypto/ct_bad.py
+"""Positive fixture: variable-time comparisons of secret-named values."""
+
+
+def verify(tag: bytes, expected: bytes) -> bool:
+    if tag == expected:  # EXPECT[RP102]
+        return True
+    return False
+
+
+def check(state, packet) -> bool:
+    return state.mac_key != packet.body  # EXPECT[RP102]
+
+
+def commitment_matches(recomputed: bytes, response) -> bool:
+    return recomputed == response.kappa_commitment  # EXPECT[RP102]

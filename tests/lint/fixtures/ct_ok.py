@@ -1,0 +1,20 @@
+# lint-fixture: crypto/ct_ok.py
+"""Negative fixture: sanctioned comparisons RP102 must stay quiet on."""
+from repro.crypto.ct import bytes_eq
+
+
+def verify(tag: bytes, expected: bytes) -> bool:
+    return bytes_eq(tag, expected)
+
+
+def same_owner(public_key_a, public_key_b) -> bool:
+    return public_key_a == public_key_b
+
+
+def well_formed(tag: bytes) -> bool:
+    return len(tag) == 32
+
+
+def grandfathered(tag: bytes, expected: bytes) -> bool:
+    # lint: allow[ct-compare] fixture exercising the waiver machinery
+    return tag == expected

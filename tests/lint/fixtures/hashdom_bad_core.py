@@ -1,0 +1,7 @@
+# lint-fixture: core/hashdom_bad_core.py
+"""Positive fixture: core/ must route hashing through repro.crypto.hashing."""
+import hashlib
+
+
+def commit(value: bytes) -> bytes:
+    return hashlib.sha256(value).digest()  # EXPECT[RP105]

@@ -1,0 +1,13 @@
+# lint-fixture: crypto/hashdom_bad_crypto.py
+"""Positive fixture: ambiguous concatenation fed into a hash."""
+import hashlib
+
+
+def digest(label: bytes, part: bytes) -> bytes:
+    return hashlib.sha256(label + part).digest()  # EXPECT[RP105]
+
+
+def rolling(label: bytes, part: bytes) -> bytes:
+    hasher = hashlib.sha256()
+    hasher.update(label + part)  # EXPECT[RP105]
+    return hasher.digest()

@@ -1,0 +1,13 @@
+# lint-fixture: crypto/hashdom_ok.py
+"""Negative fixture: length-framed hashing never concatenates raw parts."""
+import hashlib
+
+
+def digest(tag: bytes, *parts: bytes) -> bytes:
+    hasher = hashlib.sha256()
+    hasher.update(len(tag).to_bytes(2, "big"))
+    hasher.update(tag)
+    for part in parts:
+        hasher.update(len(part).to_bytes(8, "big"))
+        hasher.update(part)
+    return hasher.digest()

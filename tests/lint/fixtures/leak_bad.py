@@ -1,0 +1,16 @@
+# lint-fixture: core/leak_bad.py
+"""Positive fixture: secret-named values reaching leak-prone sinks."""
+import logging
+
+logger = logging.getLogger(__name__)
+
+
+def debug_dump(sk: int, seed: bytes, private_share: bytes) -> str:
+    message = f"signing key is {sk}"  # EXPECT[RP103]
+    logger.info("derived from seed %r", seed)  # EXPECT[RP103]
+    print(seed)  # EXPECT[RP103]
+    return message
+
+
+def fail(private_share: bytes) -> None:
+    raise ValueError(private_share)  # EXPECT[RP103]

@@ -1,0 +1,11 @@
+# lint-fixture: core/leak_ok.py
+"""Negative fixture: public names and size-only diagnostics are fine."""
+import logging
+
+logger = logging.getLogger(__name__)
+
+
+def describe(path: str, public_key: bytes, secret: bytes) -> str:
+    logger.info("loaded %s", path)
+    print(f"public key {public_key.hex()}")
+    return f"secret of {len(secret)} bytes"

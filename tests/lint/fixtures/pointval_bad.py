@@ -1,0 +1,13 @@
+# lint-fixture: pairing/pointval_bad.py
+"""Positive fixture: decode paths that skip on-curve/subgroup validation."""
+from repro.ec.point import CurvePoint, unchecked_point
+
+
+def point_from_bytes(curve, data: bytes):
+    x = int.from_bytes(data[:32], "big")
+    y = int.from_bytes(data[32:], "big")
+    return unchecked_point(curve, x, y)  # EXPECT[RP104]
+
+
+def make_point(curve, x: int, y: int):
+    return CurvePoint(curve, x, y)  # EXPECT[RP104]

@@ -1,0 +1,18 @@
+# lint-fixture: pairing/pointval_ok.py
+"""Negative fixture: validated decoders and trusted private helpers."""
+
+
+def point_from_bytes(curve, data: bytes):
+    x = int.from_bytes(data[:32], "big")
+    y = int.from_bytes(data[32:], "big")
+    point = curve.point(x, y)
+    curve.ensure_in_subgroup(point)
+    return point
+
+
+def _twist_helper(curve, x: int, y: int):
+    return unchecked_point(curve, x, y)
+
+
+def unchecked_point(curve, x: int, y: int):
+    return (curve, x, y)

@@ -1,0 +1,14 @@
+# lint-fixture: core/rng_bad.py
+"""Positive fixture: every flavor of ambient randomness RP101 catches."""
+import random
+from random import randrange
+
+from repro.crypto.rng import seeded_rng
+
+
+def keygen():
+    rng = random.Random()  # EXPECT[RP101]
+    scalar = random.randrange(1, 100)  # EXPECT[RP101]
+    other = randrange(1, 100)  # EXPECT[RP101]
+    det = seeded_rng(7)  # EXPECT[RP101]
+    return rng, scalar, other, det

@@ -1,0 +1,13 @@
+# lint-fixture: core/rng_ok.py
+"""Negative fixture: injected rng and system_rng() are the sanctioned paths."""
+import random
+
+from repro.crypto.rng import system_rng
+
+
+def keygen(rng: random.Random) -> int:
+    return rng.randrange(1, 100)
+
+
+def default_rng() -> random.Random:
+    return system_rng()

@@ -1,0 +1,9 @@
+# lint-fixture: sim/rng_sim_ok.py
+"""Negative fixture: sim/ is outside RP101's scope, determinism is fine."""
+import random
+
+from repro.crypto.rng import seeded_rng
+
+
+def scenario(scenario_seed: int):
+    return random.Random(scenario_seed), seeded_rng(scenario_seed)

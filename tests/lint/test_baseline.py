@@ -1,0 +1,86 @@
+"""Baseline mechanics: fingerprints, persistence, staleness."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    format_baseline,
+    lint_source,
+    load_baseline,
+    split_by_baseline,
+)
+
+BAD_SOURCE = (
+    "def verify(tag, expected):\n"
+    "    return tag == expected\n"
+    "\n"
+    "def check(tag, expected):\n"
+    "    return tag == expected\n"
+)
+
+
+def _findings():
+    findings, _ = lint_source(BAD_SOURCE, "x.py", package_path="crypto/x.py")
+    assert len(findings) == 2
+    return findings
+
+
+def test_baseline_roundtrip_suppresses_everything(tmp_path: Path) -> None:
+    findings = _findings()
+    baseline_file = tmp_path / "baseline.txt"
+    baseline_file.write_text(format_baseline(findings))
+    baseline = load_baseline(baseline_file)
+    new, matched, stale = split_by_baseline(findings, baseline)
+    assert new == []
+    assert len(matched) == 2
+    assert stale == []
+
+
+def test_identical_lines_get_distinct_fingerprints() -> None:
+    first, second = _findings()
+    assert first.fingerprint != second.fingerprint
+    assert first.fingerprint.endswith("|0")
+    assert second.fingerprint.endswith("|1")
+
+
+def test_fingerprints_survive_line_shifts() -> None:
+    shifted, _ = lint_source(
+        "# an unrelated comment pushed everything down\n\n" + BAD_SOURCE,
+        "x.py",
+        package_path="crypto/x.py",
+    )
+    assert [f.fingerprint for f in shifted] == [f.fingerprint for f in _findings()]
+
+
+def test_stale_entries_are_reported(tmp_path: Path) -> None:
+    findings = _findings()
+    ghost = "RP102|crypto/gone.py|abcdefabcdef|0"
+    baseline = {findings[0].fingerprint, ghost}
+    new, matched, stale = split_by_baseline(findings, baseline)
+    assert [f.fingerprint for f in new] == [findings[1].fingerprint]
+    assert len(matched) == 1
+    assert stale == [ghost]
+
+
+def test_missing_baseline_file_is_empty(tmp_path: Path) -> None:
+    assert load_baseline(tmp_path / "nope.txt") == set()
+
+
+def test_comments_and_blank_lines_are_ignored(tmp_path: Path) -> None:
+    baseline_file = tmp_path / "baseline.txt"
+    baseline_file.write_text(
+        "# a comment\n"
+        "\n"
+        "RP102 crypto/x.py aaaaaaaaaaaa 0  # trailing justification\n"
+    )
+    assert load_baseline(baseline_file) == {"RP102|crypto/x.py|aaaaaaaaaaaa|0"}
+
+
+def test_malformed_baseline_line_raises(tmp_path: Path) -> None:
+    baseline_file = tmp_path / "baseline.txt"
+    baseline_file.write_text("RP102 crypto/x.py\n")
+    with pytest.raises(ValueError, match="malformed baseline line"):
+        load_baseline(baseline_file)

@@ -1,0 +1,87 @@
+"""CLI exit codes and output formats.
+
+Scoped rules key off the path *relative to the repro package*, so these
+tests lay files out under a synthetic ``repro/crypto/`` tree — which
+also exercises that baselines written from one checkout location match
+findings from another (fingerprints are package-relative).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.lint.cli import main
+
+DIRTY = "def verify(tag, expected):\n    return tag == expected\n"
+CLEAN = (
+    "from repro.crypto.ct import bytes_eq\n"
+    "\n"
+    "def verify(tag, expected):\n"
+    "    return bytes_eq(tag, expected)\n"
+)
+
+
+def _module(tmp_path: Path, name: str, source: str) -> str:
+    path = tmp_path / "repro" / "crypto" / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    return str(path)
+
+
+def test_dirty_file_exits_one(tmp_path, capsys) -> None:
+    status = main([_module(tmp_path, "bad.py", DIRTY), "--no-baseline"])
+    assert status == 1
+    out = capsys.readouterr().out
+    assert "RP102" in out
+    assert "FAILED" in out
+
+
+def test_clean_file_exits_zero(tmp_path, capsys) -> None:
+    status = main([_module(tmp_path, "ok.py", CLEAN), "--no-baseline"])
+    assert status == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_json_format(tmp_path, capsys) -> None:
+    target = _module(tmp_path, "bad.py", DIRTY)
+    status = main([target, "--no-baseline", "--format", "json"])
+    assert status == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert {finding["rule"] for finding in payload["findings"]} == {"RP102"}
+    assert payload["files_checked"] == 1
+
+
+def test_missing_path_is_usage_error(capsys) -> None:
+    assert main(["definitely/not/here.py"]) == 2
+
+
+def test_malformed_baseline_is_usage_error(tmp_path, capsys) -> None:
+    target = _module(tmp_path, "ok.py", CLEAN)
+    baseline = tmp_path / "baseline.txt"
+    baseline.write_text("RP102 too few fields? no, three\n")
+    assert main([target, "--baseline", str(baseline)]) == 2
+    assert "malformed baseline line" in capsys.readouterr().err
+
+
+def test_list_rules(capsys) -> None:
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("RP101", "RP102", "RP103", "RP104", "RP105"):
+        assert rule_id in out
+
+
+def test_write_baseline_then_clean(tmp_path, capsys) -> None:
+    target = _module(tmp_path, "bad.py", DIRTY)
+    baseline = tmp_path / "baseline.txt"
+    assert main([target, "--write-baseline", "--baseline", str(baseline)]) == 0
+    assert "crypto/bad.py" in baseline.read_text()
+    assert main([target, "--baseline", str(baseline)]) == 0
+
+
+def test_stale_baseline_entry_fails(tmp_path, capsys) -> None:
+    target = _module(tmp_path, "ok.py", CLEAN)
+    baseline = tmp_path / "baseline.txt"
+    baseline.write_text("RP102 crypto/gone.py abcdefabcdef 0\n")
+    assert main([target, "--baseline", str(baseline)]) == 1
+    assert "stale baseline entry" in capsys.readouterr().out

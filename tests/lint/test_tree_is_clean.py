@@ -1,0 +1,27 @@
+"""The gate: the shipped tree must lint clean against its baseline.
+
+This is the test that makes the linter *binding* — a new unsuppressed
+finding anywhere under ``src/`` fails the suite, and so does a stale
+baseline entry (a grandfathered finding that was fixed but whose entry
+was left behind).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint import load_baseline
+from repro.lint.engine import run
+
+ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_tree_is_clean() -> None:
+    report = run([ROOT / "src"], load_baseline(ROOT / "lint-baseline.txt"))
+    assert report.files_checked > 0
+    rendered = "\n".join(finding.render() for finding in report.new)
+    assert report.new == [], f"new lint findings:\n{rendered}"
+    assert report.stale_baseline == [], (
+        "stale baseline entries (finding fixed — regenerate the baseline "
+        f"with --write-baseline): {report.stale_baseline}"
+    )
