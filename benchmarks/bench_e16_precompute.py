@@ -1,0 +1,122 @@
+"""E16 — fixed-argument precomputation: amortized cost of the fast paths.
+
+The deployment shape of the paper's schemes is dominated by *fixed*
+arguments: a sender reuses the server generator and one receiver key
+across many encryptions, and one broadcast update ``I_T`` unlocks every
+ciphertext labelled ``T``.  This experiment measures how much the
+fixed-base tables and cached Miller lines buy on that shape, and feeds
+the machine-readable trajectory (``BENCH_pairing.json``).
+
+Runs on toy64 so it stays cheap inside the default benchmark sweep; the
+production-size numbers come from ``scripts/bench.sh --params ss512``.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from benchmarks.trajectory import time_median
+from repro.analysis import format_table
+from repro.core.keys import UserKeyPair
+from repro.core.timeserver import PassiveTimeServer
+from repro.core.tre import TimedReleaseScheme
+from repro.crypto.rng import seeded_rng
+from repro.pairing.api import PairingGroup
+
+RELEASE = b"2030-01-01T00:00:00Z"
+BATCH = 16
+
+
+@pytest.fixture(scope="module")
+def e16_group():
+    return PairingGroup("toy64", family="A")
+
+
+def test_e16_fixed_base_mult(benchmark, e16_group, trajectory):
+    group = e16_group
+    rng = seeded_rng("e16")
+    point = group.random_point(rng)
+    scalar = group.random_scalar(rng)
+    table = group.precompute(point)
+    benchmark.pedantic(table.mult, args=(scalar,), rounds=5, iterations=1)
+
+
+def test_e16_pair_with_precomp(benchmark, e16_group, trajectory):
+    group = e16_group
+    rng = seeded_rng("e16")
+    p = group.random_point(rng)
+    q = group.random_point(rng)
+    lines = group.tate.precompute_lines(p)
+    benchmark.pedantic(
+        group.tate.pair_with_precomp, args=(lines, q), rounds=5, iterations=1
+    )
+
+
+def test_e16_claim_table(benchmark, e16_group, trajectory):
+    group = e16_group
+    rng = seeded_rng("e16-table")
+    curve = group.ssc.curve
+    scheme = TimedReleaseScheme(group)
+    server = PassiveTimeServer(group, rng=rng)
+    user = UserKeyPair.generate(group, server.public_key, rng)
+    update = server.publish_update(RELEASE)
+
+    point = group.random_point(rng)
+    scalar = group.random_scalar(rng)
+    other = group.random_point(rng)
+    table = group.precompute(point)
+    lines = group.tate.precompute_lines(point)
+    cts = [
+        scheme.encrypt(
+            b"k" * 32, user.public, server.public_key, RELEASE, rng,
+            verify_receiver_key=False,
+        )
+        for _ in range(BATCH)
+    ]
+
+    def batch_direct():
+        group.clear_precomputations()
+        for ct in cts:
+            scheme.decrypt(ct, user, update)
+
+    def batch_fast():
+        group.clear_precomputations()
+        scheme.decrypt_batch(cts, user, update)
+
+    rows = []
+    for name, direct_fn, fast_fn, note in (
+        (
+            "scalar mult",
+            lambda: curve.scalar_mult(point, scalar),
+            lambda: table.mult(scalar),
+            f"{table.table_points} cached points",
+        ),
+        (
+            "pairing",
+            lambda: group.tate.pair(point, other),
+            lambda: group.tate.pair_with_precomp(lines, other),
+            f"{len(lines)} cached lines",
+        ),
+        (
+            f"decrypt x{BATCH}",
+            batch_direct,
+            batch_fast,
+            "one I_T, lines shared",
+        ),
+    ):
+        direct_ms = time_median(direct_fn, rounds=3) * 1000
+        fast_ms = time_median(fast_fn, rounds=3) * 1000
+        rows.append((
+            name, f"{direct_ms:.2f}", f"{fast_ms:.2f}",
+            f"{direct_ms / fast_ms:.1f}x", note,
+        ))
+        op = name.replace(" ", "_")
+        trajectory.record(op, group.params.name, "direct", direct_ms / 1000, 3)
+        trajectory.record(op, group.params.name, "precomputed", fast_ms / 1000, 3)
+    group.clear_precomputations()
+
+    emit(format_table(
+        ("operation", "direct ms", "precomp ms", "speedup", "notes"),
+        rows,
+        title="E16: fixed-argument precomputation (toy64, family A)",
+    ))
+    benchmark(lambda: None)

@@ -18,6 +18,7 @@ import pathlib
 
 import pytest
 
+from benchmarks.trajectory import BenchTrajectory
 from repro.core.keys import UserKeyPair
 from repro.core.timeserver import PassiveTimeServer
 from repro.crypto.rng import seeded_rng
@@ -28,6 +29,16 @@ KEY_MESSAGE = b"k" * 32  # A 32-byte session key, the paper's unit payload.
 
 
 _REPORTS: list[str] = []
+
+# Run-wide machine-readable record; experiments add entries through the
+# ``trajectory`` fixture and the terminal-summary hook merges them into
+# BENCH_pairing.json at the repo root.
+TRAJECTORY = BenchTrajectory()
+
+
+@pytest.fixture(scope="session")
+def trajectory() -> BenchTrajectory:
+    return TRAJECTORY
 
 
 def emit(text: str) -> None:
@@ -41,6 +52,12 @@ def emit(text: str) -> None:
 
 
 def pytest_terminal_summary(terminalreporter):
+    if TRAJECTORY.entries:
+        path = TRAJECTORY.write()
+        terminalreporter.section("bench trajectory")
+        for line in TRAJECTORY.summary_lines():
+            terminalreporter.write_line(line)
+        terminalreporter.write_line(f"merged into {path}")
     if not _REPORTS:
         return
     terminalreporter.section("experiment claim tables (DESIGN.md E-index)")

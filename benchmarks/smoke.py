@@ -1,0 +1,160 @@
+"""Smoke benchmark for the precomputation layer.
+
+Runs the three direct-versus-precomputed comparisons the trajectory
+tracks and merges the results into ``BENCH_pairing.json``:
+
+* fixed-base table vs. generic ``scalar_mult``;
+* cached Miller lines vs. the full pairing;
+* ``decrypt_batch`` over N same-label ciphertexts vs. N independent
+  ``decrypt`` calls.
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.smoke                 # toy64
+    PYTHONPATH=src python -m benchmarks.smoke --params ss512  # acceptance run
+
+Direct paths are timed through the cache-free primitives (``curve
+.scalar_mult`` / ``tate.pair``) so prior precomputation cannot leak into
+the baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from benchmarks.trajectory import BenchTrajectory, time_median
+from repro.core.keys import UserKeyPair
+from repro.core.timeserver import PassiveTimeServer
+from repro.core.tre import TimedReleaseScheme
+from repro.crypto.rng import seeded_rng
+from repro.pairing.api import PairingGroup
+
+RELEASE = b"2030-01-01T00:00:00Z"
+
+
+def bench_scalar_mult(group, rng, trajectory, rounds):
+    curve = group.ssc.curve
+    point = group.random_point(rng)
+    scalars = [group.random_scalar(rng) for _ in range(8)]
+
+    def direct():
+        for k in scalars:
+            curve.scalar_mult(point, k)
+
+    setup_s = time_median(lambda: group.precompute(point), rounds=1)
+    table = group.precompute(point)
+
+    def fixed_base():
+        for k in scalars:
+            table.mult(k)
+
+    per = len(scalars)
+    d = trajectory.measure(
+        group, "scalar_mult", "direct", direct, rounds, batch=per
+    )
+    f = trajectory.measure(
+        group, "scalar_mult", "fixed_base", fixed_base, rounds,
+        batch=per, setup_ms=round(setup_s * 1000, 4),
+        table_points=table.table_points,
+    )
+    return d / f
+
+
+def bench_pairing(group, rng, trajectory, rounds):
+    p = group.random_point(rng)
+    others = [group.random_point(rng) for _ in range(4)]
+
+    def direct():
+        for q in others:
+            group.tate.pair(p, q)
+
+    setup_s = time_median(lambda: group.tate.precompute_lines(p), rounds=1)
+    lines = group.tate.precompute_lines(p)
+
+    def precomputed():
+        for q in others:
+            group.tate.pair_with_precomp(lines, q)
+
+    per = len(others)
+    d = trajectory.measure(
+        group, "pairing", "direct", direct, rounds, batch=per
+    )
+    f = trajectory.measure(
+        group, "pairing", "precomputed", precomputed, rounds,
+        batch=per, setup_ms=round(setup_s * 1000, 4), lines=len(lines),
+    )
+    return d / f
+
+
+def bench_batch_decrypt(group, rng, trajectory, rounds, batch):
+    scheme = TimedReleaseScheme(group)
+    server = PassiveTimeServer(group, rng=rng)
+    user = UserKeyPair.generate(group, server.public_key, rng)
+    update = server.publish_update(RELEASE)
+    cts = [
+        scheme.encrypt(
+            f"payload {i}".encode() * 4, user.public, server.public_key,
+            RELEASE, rng, verify_receiver_key=False,
+        )
+        for i in range(batch)
+    ]
+
+    def individual():
+        group.clear_precomputations()
+        return [scheme.decrypt(ct, user, update) for ct in cts]
+
+    def batched():
+        group.clear_precomputations()
+        return scheme.decrypt_batch(cts, user, update)
+
+    assert individual() == batched()
+    op = f"tre_decrypt_x{batch}"
+    d = trajectory.measure(group, op, "direct", individual, rounds, batch=batch)
+    f = trajectory.measure(group, op, "batch_precomp", batched, rounds, batch=batch)
+    group.clear_precomputations()
+    return d / f
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--params", default="toy64",
+                        help="parameter set (toy64, ss512, ...)")
+    parser.add_argument("--batch", type=int, default=32,
+                        help="ciphertexts in the batch-decrypt comparison")
+    parser.add_argument("--rounds", type=int, default=5,
+                        help="timing rounds per measurement (median kept)")
+    parser.add_argument("--output", default=None,
+                        help="trajectory file (default: repo-root "
+                             "BENCH_pairing.json)")
+    args = parser.parse_args(argv)
+
+    group = PairingGroup(args.params, family="A")
+    rng = seeded_rng(f"smoke:{args.params}")
+    trajectory = BenchTrajectory(args.output)
+
+    print(f"precomputation smoke benchmark on {args.params} "
+          f"(q={group.q.bit_length()} bits, rounds={args.rounds})")
+    ratios = {
+        "fixed-base scalar mult": bench_scalar_mult(
+            group, rng, trajectory, args.rounds
+        ),
+        "precomputed pairing": bench_pairing(
+            group, rng, trajectory, args.rounds
+        ),
+        f"batch decrypt x{args.batch}": bench_batch_decrypt(
+            group, rng, trajectory, args.rounds, args.batch
+        ),
+    }
+    path = trajectory.write()
+
+    for line in trajectory.summary_lines():
+        print("  " + line)
+    print(f"trajectory merged into {path}")
+    for label, ratio in ratios.items():
+        print(f"{label}: {ratio:.2f}x vs direct")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,132 @@
+"""A machine-readable benchmark trajectory (``BENCH_pairing.json``).
+
+Claim tables (``benchmarks/claim_tables.txt``) are for humans; this
+module keeps the same measurements as data, so successive PRs can be
+compared mechanically.  Entries are keyed ``op:params:variant`` (e.g.
+``scalar_mult:ss512:fixed_base``) and merged on write — re-running one
+experiment updates its rows and leaves the rest of the file alone.
+
+Each entry records the median wall time, the round count, the live
+operation counts from :mod:`repro.pairing.opcount` for one execution,
+and free-form extras.  For every ``op:params`` pair that has both a
+``direct`` and a non-direct variant, ``write`` derives a
+``speedup`` ratio (direct median / fast-path median).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import statistics
+import time
+
+SCHEMA = "repro-bench-trajectory/v1"
+DIRECT = "direct"
+
+DEFAULT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_pairing.json"
+
+
+def time_median(fn, rounds: int = 5) -> float:
+    """Median wall-clock seconds of ``rounds`` calls to ``fn``."""
+    samples = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples)
+
+
+class BenchTrajectory:
+    """Accumulates benchmark entries and merges them into the JSON file."""
+
+    def __init__(self, path: pathlib.Path | str | None = None):
+        self.path = pathlib.Path(path) if path else DEFAULT_PATH
+        self.entries: dict[str, dict] = {}
+
+    @staticmethod
+    def key(op: str, params: str, variant: str) -> str:
+        return f"{op}:{params}:{variant}"
+
+    def record(
+        self,
+        op: str,
+        params: str,
+        variant: str,
+        median_seconds: float,
+        rounds: int,
+        op_counts: dict[str, int] | None = None,
+        **extra,
+    ) -> None:
+        entry = {
+            "op": op,
+            "params": params,
+            "variant": variant,
+            "median_ms": round(median_seconds * 1000, 4),
+            "rounds": rounds,
+        }
+        if op_counts:
+            entry["op_counts"] = dict(op_counts)
+        if extra:
+            entry.update(extra)
+        self.entries[self.key(op, params, variant)] = entry
+
+    def measure(
+        self,
+        group,
+        op: str,
+        variant: str,
+        fn,
+        rounds: int = 5,
+        **extra,
+    ) -> float:
+        """Time ``fn``, capture one run's op counts, record, return median s."""
+        with group.counters.measure() as counts:
+            fn()
+        median = time_median(fn, rounds)
+        self.record(
+            op, group.params.name, variant, median, rounds,
+            op_counts=counts, **extra,
+        )
+        return median
+
+    def _derive_speedups(self, entries: dict[str, dict]) -> dict[str, float]:
+        by_pair: dict[tuple[str, str], dict[str, float]] = {}
+        for entry in entries.values():
+            pair = (entry["op"], entry["params"])
+            by_pair.setdefault(pair, {})[entry["variant"]] = entry["median_ms"]
+        speedups = {}
+        for (op, params), variants in sorted(by_pair.items()):
+            direct = variants.get(DIRECT)
+            if not direct:
+                continue
+            for variant, ms in variants.items():
+                if variant == DIRECT or not ms:
+                    continue
+                speedups[f"{op}:{params}:{variant}"] = round(direct / ms, 3)
+        return speedups
+
+    def write(self) -> pathlib.Path:
+        """Merge this run's entries into the trajectory file."""
+        merged: dict[str, dict] = {}
+        if self.path.exists():
+            try:
+                merged = json.loads(self.path.read_text()).get("entries", {})
+            except (json.JSONDecodeError, OSError):
+                merged = {}
+        merged.update(self.entries)
+        merged = dict(sorted(merged.items()))
+        payload = {
+            "schema": SCHEMA,
+            "entries": merged,
+            "speedup_vs_direct": self._derive_speedups(merged),
+        }
+        self.path.write_text(json.dumps(payload, indent=2) + "\n")
+        return self.path
+
+    def summary_lines(self) -> list[str]:
+        lines = []
+        for key, entry in sorted(self.entries.items()):
+            lines.append(f"{key}: {entry['median_ms']:.3f} ms")
+        for key, ratio in self._derive_speedups(self.entries).items():
+            lines.append(f"speedup {key}: {ratio:.2f}x vs direct")
+        return lines

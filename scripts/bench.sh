@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Smoke benchmark for the precomputation layer.
+#
+#   ./scripts/bench.sh                  # toy64, seconds
+#   ./scripts/bench.sh --params ss512   # production-size acceptance run
+#
+# Arguments are passed through to benchmarks.smoke; results merge into
+# BENCH_pairing.json at the repo root (see docs/PERFORMANCE.md for the
+# schema).
+set -eu
+cd "$(dirname "$0")/.."
+
+PYTHONPATH=src python -m benchmarks.smoke "$@"

@@ -19,13 +19,21 @@ from dataclasses import dataclass, field
 
 @dataclass(frozen=True)
 class OpBudget:
-    """Operation counts for one protocol step."""
+    """Operation counts for one protocol step.
+
+    ``fixed_base_mults`` and ``precomputed_pairings`` are *subsets* of
+    ``scalar_mults`` / ``pairings`` taken via the precomputation fast
+    paths (mirroring the advisory counters in
+    :mod:`repro.pairing.opcount`), not additional operations.
+    """
 
     pairings: int = 0
     scalar_mults: int = 0
     hash_to_group: int = 0
     gt_exps: int = 0
     point_adds: int = 0
+    fixed_base_mults: int = 0
+    precomputed_pairings: int = 0
 
     def as_dict(self) -> dict[str, int]:
         mapping = {
@@ -34,14 +42,31 @@ class OpBudget:
             "hash_to_group": self.hash_to_group,
             "gt_exp": self.gt_exps,
             "point_add": self.point_adds,
+            "fixed_base_mult": self.fixed_base_mults,
+            "pairing_precomp": self.precomputed_pairings,
         }
         return {name: count for name, count in mapping.items() if count}
 
-    def dominant_cost(self, pairing_weight: float = 10.0) -> float:
-        """A single comparable number: scalar-mult-equivalents."""
+    def dominant_cost(
+        self,
+        pairing_weight: float = 10.0,
+        precomp_pairing_weight: float = 4.0,
+        fixed_base_weight: float = 0.4,
+    ) -> float:
+        """A single comparable number: scalar-mult-equivalents.
+
+        Precomputed pairings keep the final exponentiation but drop the
+        Miller-loop curve arithmetic; table-driven multiplications drop
+        all doublings.  The discounted weights reflect the measured
+        ratios in ``BENCH_pairing.json``.
+        """
+        direct_pairings = self.pairings - self.precomputed_pairings
+        direct_mults = self.scalar_mults - self.fixed_base_mults
         return (
-            self.pairings * pairing_weight
-            + self.scalar_mults
+            direct_pairings * pairing_weight
+            + self.precomputed_pairings * precomp_pairing_weight
+            + direct_mults
+            + self.fixed_base_mults * fixed_base_weight
             + self.hash_to_group
             + self.gt_exps
             + 0.01 * self.point_adds
@@ -117,6 +142,33 @@ ALL_FIXED_COSTS = (TRE_COST, IDTRE_COST, HYBRID_COST)
 
 UPDATE_VERIFY_COST = OpBudget(pairings=2, hash_to_group=1)
 RECEIVER_KEY_CHECK_COST = OpBudget(pairings=2)
+
+# ----------------------------------------------------------------------
+# Precomputed variants (same primary op counts — the fast paths change
+# *how* an operation runs, never how many run; the sub-counters assert
+# the fast paths actually engaged).
+# ----------------------------------------------------------------------
+
+# §5.1 Encrypt after TimedReleaseScheme.precompute_sender: both scalar
+# multiplications (rG, r·asG) come from fixed-base tables.
+TRE_PRECOMP_ENCRYPT_COST = OpBudget(
+    pairings=1, scalar_mults=2, hash_to_group=1, fixed_base_mults=2
+)
+
+# Update self-authentication against a precomputed (G, sG): both
+# pairings evaluate cached Miller lines.
+PRECOMP_UPDATE_VERIFY_COST = OpBudget(
+    pairings=2, hash_to_group=1, precomputed_pairings=2
+)
+
+
+def tre_batch_decrypt_cost(n: int) -> OpBudget:
+    """Decrypting ``n`` ciphertexts sharing one ``I_T`` via cached lines.
+
+    One pairing and one GT exponentiation per ciphertext, with every
+    pairing a line evaluation against the shared update.
+    """
+    return OpBudget(pairings=n, gt_exps=n, precomputed_pairings=n)
 
 
 def cost_table() -> str:

@@ -38,6 +38,19 @@ class BLSSignatureScheme:
         """``σ = s·H1(m)``."""
         return self.group.mul(self.hash_message(message), keypair.private)
 
+    def precompute_public(self, public: ServerPublicKey) -> None:
+        """Cache Miller lines for ``(G, sG)`` so verification reuses them.
+
+        Both pairings in :meth:`verify` have a fixed first argument
+        under a fixed public key; after this call every ``verify`` /
+        ``batch_verify`` against ``public`` evaluates cached lines
+        instead of re-running the full Miller loop.  A receiver catching
+        up on an archive of time-bound key updates pays the two
+        precomputations once for the whole backlog.
+        """
+        self.group.precompute_pairing(public.s_generator)
+        self.group.precompute_pairing(public.generator)
+
     def verify(
         self, public: ServerPublicKey, message: bytes, signature: CurvePoint
     ) -> bool:

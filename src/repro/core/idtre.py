@@ -70,6 +70,18 @@ class IdentityTimedReleaseScheme:
     def hash_identity(self, identity: bytes) -> CurvePoint:
         return self.group.hash_to_g1(identity, tag=H1_TAG)
 
+    def precompute_sender(self, server_public: ServerPublicKey) -> None:
+        """Warm the sender's fixed arguments for repeated encryption.
+
+        §5.2 encryption multiplies the fixed ``G`` by ``r`` and pairs
+        the fixed ``sG`` against a per-message point: the first gets a
+        fixed-base table, the second cached Miller lines.  Both fast
+        paths are picked up transparently by ``group.mul`` /
+        ``group.pair`` in :meth:`encrypt`.
+        """
+        self.group.precompute(server_public.generator)
+        self.group.precompute_pairing(server_public.s_generator)
+
     def extract_user_key(
         self, server: ServerKeyPair, identity: bytes
     ) -> IDUserKey:

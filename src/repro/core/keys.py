@@ -32,6 +32,19 @@ class ServerPublicKey:
     generator: CurvePoint
     s_generator: CurvePoint
 
+    def precompute(self, group: PairingGroup) -> None:
+        """Warm every fixed-argument cache this key participates in.
+
+        Builds fixed-base tables for ``G`` and ``sG`` (user key
+        generation, TRE/ID-TRE encryption) and caches their Miller
+        lines (update self-authentication, receiver-key checks).  A
+        process that touches one server key many times calls this once.
+        """
+        group.precompute(self.generator)
+        group.precompute(self.s_generator)
+        group.precompute_pairing(self.generator)
+        group.precompute_pairing(self.s_generator)
+
     def to_bytes(self, group: PairingGroup) -> bytes:
         return pack_chunks(
             group.point_to_bytes(self.generator),

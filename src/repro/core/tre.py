@@ -105,6 +105,26 @@ class TimedReleaseScheme:
         return self.group.pair(u_point, update.point) ** private
 
     # ------------------------------------------------------------------
+    # Fixed-argument precomputation.
+    # ------------------------------------------------------------------
+
+    def precompute_sender(
+        self,
+        receiver_public: UserPublicKey,
+        server_public: ServerPublicKey,
+    ) -> None:
+        """Warm fixed-base tables for the sender's hot path.
+
+        Both scalar multiplications in :meth:`encrypt` — ``U = rG`` and
+        ``r·asG`` — use fixed bases, so a sender addressing the same
+        receiver repeatedly (or many receivers under one server) builds
+        the tables once and every subsequent encryption takes the
+        table-driven path automatically via ``group.mul``.
+        """
+        self.group.precompute(server_public.generator)
+        self.group.precompute(receiver_public.as_generator)
+
+    # ------------------------------------------------------------------
     # Encryption / decryption (§5.1 verbatim).
     # ------------------------------------------------------------------
 
@@ -156,6 +176,42 @@ class TimedReleaseScheme:
         k = self._receiver_key(ciphertext.u_point, private, update)
         mask = self.group.mask_bytes(k, len(ciphertext.masked), tag=H2_TAG)
         return xor_bytes(ciphertext.masked, mask)
+
+    def decrypt_batch(
+        self,
+        ciphertexts: list[TRECiphertext],
+        receiver: UserKeyPair | int,
+        update: TimeBoundKeyUpdate,
+        server_public: ServerPublicKey | None = None,
+    ) -> list[bytes]:
+        """Decrypt many ciphertexts bound to the *same* release time.
+
+        This is the deployment-shaped hot path: one broadcast ``I_T``
+        unlocks every ciphertext labelled ``T``, so the Miller-loop
+        lines for ``I_T`` are computed once (the pairing is symmetric,
+        so the shared update takes the fixed slot) and each ciphertext
+        costs one line evaluation plus the ``^a`` exponentiation.
+        Outputs are byte-identical to calling :meth:`decrypt` once per
+        ciphertext; a ciphertext with a different label raises
+        :class:`UpdateVerificationError` before any plaintext is
+        produced.  ``server_public``, when given, self-authenticates
+        the update once for the whole batch.
+        """
+        private = receiver.private if isinstance(receiver, UserKeyPair) else receiver
+        for ciphertext in ciphertexts:
+            if ciphertext.time_label != update.time_label:
+                raise UpdateVerificationError(
+                    "batch contains a ciphertext for a different release time"
+                )
+        if server_public is not None:
+            update.ensure_valid(self.group, server_public)
+        precomp = self.group.precompute_pairing(update.point)
+        plaintexts = []
+        for ciphertext in ciphertexts:
+            k = precomp.pair(ciphertext.u_point) ** private
+            mask = self.group.mask_bytes(k, len(ciphertext.masked), tag=H2_TAG)
+            plaintexts.append(xor_bytes(ciphertext.masked, mask))
+        return plaintexts
 
     # ------------------------------------------------------------------
     # KEM view (used by the hybrid and CCA layers).

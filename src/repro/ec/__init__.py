@@ -2,5 +2,6 @@
 
 from repro.ec.curve import EllipticCurve
 from repro.ec.point import CurvePoint
+from repro.ec.precompute import FixedBaseTable, wnaf_digits
 
-__all__ = ["EllipticCurve", "CurvePoint"]
+__all__ = ["EllipticCurve", "CurvePoint", "FixedBaseTable", "wnaf_digits"]

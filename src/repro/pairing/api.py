@@ -24,14 +24,17 @@ from __future__ import annotations
 import random
 
 from repro.ec.point import CurvePoint
+from repro.ec.precompute import FixedBaseTable
 from repro.errors import GroupMismatchError, NotInSubgroupError, ParameterError
 from repro.math.quadratic import QuadraticElement
 from repro.pairing import hashing
 from repro.pairing.opcount import (
+    FIXED_BASE_MULT,
     GT_EXP,
     GT_MUL,
     HASH_TO_GROUP,
     PAIRING,
+    PAIRING_PRECOMP,
     POINT_ADD,
     SCALAR_MULT,
     OperationCounter,
@@ -94,6 +97,43 @@ class GTElement:
         return f"GTElement({self.value!r})"
 
 
+class PairingPrecomputation:
+    """Cached Miller-line coefficients for one fixed pairing argument.
+
+    Built by :meth:`PairingGroup.precompute_pairing`.  On family A the
+    line coefficients of ``f_{q,P}`` are recorded once; :meth:`pair`
+    then evaluates them against any second argument, skipping all curve
+    arithmetic in the Miller loop.  On family B (no denominator-free
+    loop) the object transparently falls back to the direct pairing, so
+    callers can precompute unconditionally.
+    """
+
+    __slots__ = ("group", "point", "lines")
+
+    def __init__(self, group: "PairingGroup", point: CurvePoint):
+        self.group = group
+        self.point = point
+        self.lines = None
+        if group.family == FAMILY_A and not point.is_infinity:
+            group.ssc.ensure_in_subgroup(point)
+            self.lines = group.tate.precompute_lines(point)
+
+    def pair(self, q_point: CurvePoint) -> "GTElement":
+        """``ê(P, Q)`` — byte-identical to ``group.pair(P, Q)``."""
+        self.group.counters.record(PAIRING)
+        return GTElement(self.group, self._pair_value(q_point))
+
+    def _pair_value(self, q_point: CurvePoint) -> QuadraticElement:
+        if self.lines is None:
+            return self.group.tate.pair(self.point, q_point)
+        self.group.counters.record(PAIRING_PRECOMP)
+        return self.group.tate.pair_with_precomp(self.lines, q_point)
+
+    def __repr__(self) -> str:
+        kind = "lines" if self.lines is not None else "fallback"
+        return f"PairingPrecomputation({kind}, steps={len(self.lines or ())})"
+
+
 class PairingGroup:
     """A symmetric pairing group ``ê : G1 × G1 → GT`` with hashing.
 
@@ -122,6 +162,10 @@ class PairingGroup:
         self.point_bytes = 1 + 2 * self.ssc.fp.element_bytes
         self.gt_bytes = 2 * self.ssc.fp.element_bytes
         self.scalar_bytes = (self.q.bit_length() + 7) // 8
+        # Fixed-argument caches, populated only by explicit precompute
+        # calls; mul/pair probe them with a dict lookup per call.
+        self._fixed_base: dict[CurvePoint, FixedBaseTable] = {}
+        self._pairing_precomp: dict[CurvePoint, PairingPrecomputation] = {}
 
     # ------------------------------------------------------------------
     # Scalars.
@@ -143,7 +187,26 @@ class PairingGroup:
 
     def mul(self, point: CurvePoint, scalar: int) -> CurvePoint:
         self.counters.record(SCALAR_MULT)
+        table = self._fixed_base.get(point)
+        if table is not None:
+            self.counters.record(FIXED_BASE_MULT)
+            return table.mult(scalar % self.q)
         return point * (scalar % self.q)
+
+    def precompute(self, point: CurvePoint, width: int = 4) -> FixedBaseTable:
+        """Build (and cache) a fixed-base table for ``point``.
+
+        Subsequent :meth:`mul` calls on the same point use the table —
+        zero doublings, one mixed addition per ``width``-bit window —
+        and return byte-identical results.  Amortizes after a handful of
+        multiplications; see ``docs/PERFORMANCE.md`` for the memory /
+        break-even numbers.  :meth:`clear_precomputations` frees tables.
+        """
+        table = self._fixed_base.get(point)
+        if table is None or table.width != width:
+            table = FixedBaseTable(point, self.q.bit_length(), width=width)
+            self._fixed_base[point] = table
+        return table
 
     def add(self, left: CurvePoint, right: CurvePoint) -> CurvePoint:
         self.counters.record(POINT_ADD)
@@ -220,9 +283,47 @@ class PairingGroup:
     # ------------------------------------------------------------------
 
     def pair(self, p_point: CurvePoint, q_point: CurvePoint) -> GTElement:
-        """The symmetric bilinear map ``ê(P, Q)``."""
+        """The symmetric bilinear map ``ê(P, Q)``.
+
+        If either argument has cached Miller lines (see
+        :meth:`precompute_pairing`), the pairing is evaluated from them
+        — symmetry lets a cached *second* argument swap into the fixed
+        slot.  Results are identical either way.
+        """
         self.counters.record(PAIRING)
+        precomp = self._pairing_precomp.get(p_point)
+        if precomp is not None:
+            return GTElement(self, precomp._pair_value(q_point))
+        precomp = self._pairing_precomp.get(q_point)
+        if precomp is not None:
+            return GTElement(self, precomp._pair_value(p_point))
         return GTElement(self, self.tate.pair(p_point, q_point))
+
+    def precompute_pairing(self, point: CurvePoint) -> PairingPrecomputation:
+        """Cache Miller lines for a fixed pairing argument.
+
+        Returns a :class:`PairingPrecomputation` whose ``pair(Q)``
+        evaluates ``ê(point, Q)`` from the cached lines; :meth:`pair`
+        also probes this cache on both arguments, so existing call
+        sites speed up without changes.  On family B the returned
+        object falls back to the direct pairing (no denominator-free
+        loop to cache).  :meth:`clear_precomputations` frees the cache.
+        """
+        precomp = self._pairing_precomp.get(point)
+        if precomp is None:
+            precomp = PairingPrecomputation(self, point)
+            self._pairing_precomp[point] = precomp
+        return precomp
+
+    def clear_precomputations(self) -> None:
+        """Drop all fixed-base tables and cached Miller lines.
+
+        Long-running processes that precompute per-epoch updates (e.g.
+        archive catch-up over thousands of labels) call this to bound
+        memory; correctness is unaffected.
+        """
+        self._fixed_base.clear()
+        self._pairing_precomp.clear()
 
     def gt_identity(self) -> GTElement:
         return GTElement(self, self.ssc.fp2.one())

@@ -84,6 +84,96 @@ def miller_loop_denominator_free(
     return f
 
 
+_LINE = 0   # chord/tangent: (s_y - yv) - (s_x - xv) * slope
+_VERT = 1   # vertical:      s_x - xv
+_ONE = 2    # line through infinity: constant 1
+
+
+class PrecomputedLines:
+    """The line coefficients ``f_{order, P}`` touches, in loop order.
+
+    Every coefficient lives in ``Fp`` (family A keeps ``P`` and all loop
+    intermediates on ``E(Fp)``), so a step is four ints: an is-add flag
+    plus ``(kind, x_V, y_V, slope)``.  Evaluating the sequence against a
+    second argument replays :func:`miller_loop_denominator_free` exactly
+    — same field operations in the same order — minus all the point
+    arithmetic and slope inversions, which is where the per-pairing
+    savings come from.
+    """
+
+    __slots__ = ("steps", "order")
+
+    def __init__(self, steps: tuple, order: int):
+        self.steps = steps
+        self.order = order
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+
+def _line_coefficients(v: CurvePoint, w: CurvePoint):
+    """The ``(kind, x_V, y_V, slope)`` record for the line through V, W."""
+    if v.is_infinity or w.is_infinity:
+        return (_ONE, 0, 0, 0)
+    if v.x == w.x and v.y != w.y:
+        return (_VERT, v.x.value, 0, 0)
+    if v.x == w.x:
+        if v.y.is_zero():
+            return (_VERT, v.x.value, 0, 0)
+        slope = (v.x.square() * 3 + v.curve.a) / (v.y * 2)
+    else:
+        slope = (w.y - v.y) / (w.x - v.x)
+    return (_LINE, v.x.value, v.y.value, slope.value)
+
+
+def record_line_sequence(p_point: CurvePoint, order: int) -> PrecomputedLines:
+    """Run the denominator-free loop once, keeping only line coefficients.
+
+    ``p_point`` must have the given (odd prime) order on ``E(Fp)``.  The
+    returned sequence replays against any number of second arguments via
+    :func:`evaluate_line_sequence`.
+    """
+    steps = []
+    v = p_point
+    for bit_index in range(order.bit_length() - 2, -1, -1):
+        steps.append((False,) + _line_coefficients(v, v))
+        v = v.double()
+        if (order >> bit_index) & 1:
+            steps.append((True,) + _line_coefficients(v, p_point))
+            v = v + p_point
+    if not v.is_infinity:
+        raise ParameterError("point order does not divide the loop order")
+    return PrecomputedLines(tuple(steps), order)
+
+
+def evaluate_line_sequence(
+    lines: PrecomputedLines,
+    s_point: CurvePoint,
+    fp2: QuadraticField,
+) -> QuadraticElement:
+    """``f_{order, P}(S)`` from cached coefficients.
+
+    Performs the same ``Fp2`` squarings and multiplications as
+    :func:`miller_loop_denominator_free` (so the reduced pairing value
+    is bit-for-bit identical) but no curve arithmetic.
+    """
+    if s_point.is_infinity:
+        raise ParameterError("cannot evaluate Miller function at infinity")
+    s_x, s_y = s_point.x, s_point.y
+    f = fp2.one()
+    for is_add, kind, xv, yv, slope in lines.steps:
+        if not is_add:
+            f = f.square()
+        if kind == _LINE:
+            value = (s_y - yv) - (s_x - xv) * slope
+        elif kind == _VERT:
+            value = s_x - xv
+        else:
+            continue
+        f = f * value
+    return f
+
+
 def miller_loop_general(
     p_point: CurvePoint,
     s_point: CurvePoint,

@@ -20,6 +20,13 @@ HASH_TO_GROUP = "hash_to_group"
 GT_EXP = "gt_exp"
 GT_MUL = "gt_mul"
 
+# Advisory sub-counters for the precomputation fast paths: recorded *in
+# addition to* the primary counter above (a table-driven multiply still
+# counts as one scalar_mult), so cost-model assertions on the primary
+# names stay stable while the fast-path hit rate remains observable.
+FIXED_BASE_MULT = "fixed_base_mult"
+PAIRING_PRECOMP = "pairing_precomp"
+
 
 class OperationCounter:
     """A named multiset of primitive-operation counts."""

@@ -21,7 +21,13 @@ import hashlib
 from repro.errors import NotInSubgroupError, ParameterError
 from repro.ec.point import CurvePoint
 from repro.math.quadratic import QuadraticElement
-from repro.pairing.miller import miller_loop_denominator_free, miller_loop_general
+from repro.pairing.miller import (
+    PrecomputedLines,
+    evaluate_line_sequence,
+    miller_loop_denominator_free,
+    miller_loop_general,
+    record_line_sequence,
+)
 from repro.pairing.supersingular import FAMILY_A, SupersingularCurve
 
 
@@ -61,9 +67,16 @@ class TatePairing:
     def __init__(self, ssc: SupersingularCurve):
         self.ssc = ssc
         self.fp2 = ssc.fp2
+        # Derived lazily: family A never touches them, and even family B
+        # only needs them on the first pairing, not at construction.
         self._aux_points = None
-        if ssc.family != FAMILY_A:
+
+    @property
+    def aux_points(self) -> list[CurvePoint]:
+        """Auxiliary divisor points for the general loop, derived on first use."""
+        if self._aux_points is None:
             self._aux_points = self._derive_aux_points()
+        return self._aux_points
 
     def _derive_aux_points(self, count: int = 8) -> list[CurvePoint]:
         """Deterministic auxiliary divisor points for the general loop.
@@ -109,9 +122,47 @@ class TatePairing:
             f = self._general_miller(p_point, s_point)
         return self.final_exponentiation(f)
 
+    def precompute_lines(self, p_point: CurvePoint) -> PrecomputedLines:
+        """Cache the Miller-loop line coefficients for a fixed ``P``.
+
+        The denominator-free (family A) loop's lines depend only on
+        ``P`` and the loop order ``q``; the returned sequence feeds
+        :meth:`pair_with_precomp` for any number of second arguments,
+        skipping all per-pairing curve arithmetic and slope inversions.
+        Since the pairing is symmetric, callers with a fixed *second*
+        argument simply swap it into the ``P`` slot.
+        """
+        if self.ssc.family != FAMILY_A:
+            raise ParameterError(
+                "line precomputation requires the denominator-free "
+                "(family A) Miller loop"
+            )
+        if p_point.is_infinity:
+            raise ParameterError("cannot precompute lines for infinity")
+        if p_point.curve != self.ssc.curve:
+            raise NotInSubgroupError("pairing inputs must lie on E(Fp)")
+        return record_line_sequence(p_point, self.ssc.q)
+
+    def pair_with_precomp(
+        self, lines: PrecomputedLines, q_point: CurvePoint
+    ) -> QuadraticElement:
+        """``ê(P, Q)`` from :meth:`precompute_lines` output for ``P``.
+
+        Byte-identical to :meth:`pair` on the same arguments: the line
+        evaluation performs the same ``Fp2`` operations in the same
+        order, and the final exponentiation is shared.
+        """
+        if q_point.is_infinity:
+            return self.fp2.one()
+        if q_point.curve != self.ssc.curve:
+            raise NotInSubgroupError("pairing inputs must lie on E(Fp)")
+        s_point = self.ssc.distort(q_point)
+        f = evaluate_line_sequence(lines, s_point, self.fp2)
+        return self.final_exponentiation(f)
+
     def _general_miller(self, p_point, s_point) -> QuadraticElement:
         last_error = None
-        for aux in self._aux_points:
+        for aux in self.aux_points:
             try:
                 return miller_loop_general(
                     p_point, s_point, self.ssc.q, self.fp2, aux

@@ -10,17 +10,21 @@ import pytest
 from repro.analysis.costmodel import (
     HYBRID_COST,
     IDTRE_COST,
+    PRECOMP_UPDATE_VERIFY_COST,
     RECEIVER_KEY_CHECK_COST,
     TRE_COST,
+    TRE_PRECOMP_ENCRYPT_COST,
     UPDATE_VERIFY_COST,
     cost_table,
     multiserver_cost,
     resilient_cost,
+    tre_batch_decrypt_cost,
 )
 from repro.core.idtre import IdentityTimedReleaseScheme
-from repro.core.keys import ServerKeyPair
+from repro.core.keys import ServerKeyPair, UserKeyPair
 from repro.core.timeserver import PassiveTimeServer
 from repro.core.tre import TimedReleaseScheme
+from repro.pairing.api import PairingGroup
 
 LABEL = b"costmodel-T"
 
@@ -157,6 +161,81 @@ class TestParametricBudgets:
         )
         measured = _measure(group, lambda: scheme.decrypt(ct, user, leaf))
         _assert_budget(measured, budget.decrypt)
+
+
+def _assert_budget_with_advisory(measured: dict, budget) -> None:
+    """Exact comparison including the fast-path sub-counters."""
+    names = (
+        "pairing", "scalar_mult", "hash_to_group", "gt_exp",
+        "fixed_base_mult", "pairing_precomp",
+    )
+    relevant = {k: v for k, v in measured.items() if k in names}
+    expected = budget.as_dict()
+    expected.pop("point_add", None)
+    assert relevant == expected
+
+
+class TestPrecomputedBudgets:
+    """Fast-path budgets, measured on fresh groups to control cache state."""
+
+    @pytest.fixture()
+    def fresh(self, rng):
+        group = PairingGroup("toy64", family="A")
+        server = PassiveTimeServer(group, rng=rng)
+        user = UserKeyPair.generate(group, server.public_key, rng)
+        return group, server, user
+
+    def test_precomp_encrypt(self, fresh, rng):
+        group, server, user = fresh
+        scheme = TimedReleaseScheme(group)
+        scheme.precompute_sender(user.public, server.public_key)
+        measured = _measure(group, lambda: scheme.encrypt(
+            b"m" * 32, user.public, server.public_key, LABEL, rng,
+            verify_receiver_key=False,
+        ))
+        _assert_budget_with_advisory(measured, TRE_PRECOMP_ENCRYPT_COST)
+        # Primary counters unchanged vs. the cold budget.
+        _assert_budget(measured, TRE_COST.encrypt)
+
+    def test_precomp_update_verify(self, fresh):
+        group, server, user = fresh
+        server.public_key.precompute(group)
+        update = server.publish_update(LABEL)
+        measured = _measure(
+            group, lambda: update.verify(group, server.public_key)
+        )
+        _assert_budget_with_advisory(measured, PRECOMP_UPDATE_VERIFY_COST)
+
+    @pytest.mark.parametrize("n", [1, 4])
+    def test_batch_decrypt(self, fresh, rng, n):
+        group, server, user = fresh
+        scheme = TimedReleaseScheme(group)
+        update = server.publish_update(LABEL)
+        cts = [
+            scheme.encrypt(
+                b"m" * 32, user.public, server.public_key, LABEL, rng,
+                verify_receiver_key=False,
+            )
+            for _ in range(n)
+        ]
+        measured = _measure(
+            group, lambda: scheme.decrypt_batch(cts, user, update)
+        )
+        _assert_budget_with_advisory(measured, tre_batch_decrypt_cost(n))
+
+    def test_dominant_cost_discounts_fast_paths(self):
+        assert (
+            TRE_PRECOMP_ENCRYPT_COST.dominant_cost()
+            < TRE_COST.encrypt.dominant_cost()
+        )
+        assert (
+            PRECOMP_UPDATE_VERIFY_COST.dominant_cost()
+            < UPDATE_VERIFY_COST.dominant_cost()
+        )
+        assert (
+            tre_batch_decrypt_cost(8).dominant_cost()
+            < 8 * TRE_COST.decrypt.dominant_cost()
+        )
 
 
 class TestRendering:

@@ -1,0 +1,144 @@
+"""Precompute-vs-direct equivalence for the scalar-multiplication layer.
+
+Every fast path must match the naive path bit-for-bit: the fixed-base
+table, the interleaved-wNAF multi-scalar multiplication, and the
+adaptive-window ``scalar_mult`` itself (against the affine ladder).
+"""
+
+import random
+
+import pytest
+
+from repro.ec.precompute import FixedBaseTable, wnaf_digits
+from repro.errors import ParameterError
+
+EDGE_SCALARS = [0, 1, 2, 3, 15, 16, 17, 255, 256, 257]
+
+
+def _edge_scalars(q):
+    return EDGE_SCALARS + [q - 2, q - 1, q, q + 1, -1, -2, -(q - 1), -q]
+
+
+class TestWnafDigits:
+    @pytest.mark.parametrize("width", [2, 3, 4, 5])
+    def test_reconstructs_scalar(self, width):
+        rng = random.Random(width)
+        for scalar in [0, 1, 2, 7, 8, 255] + [rng.getrandbits(64) for _ in range(20)]:
+            digits = wnaf_digits(scalar, width)
+            assert sum(d << i for i, d in enumerate(digits)) == scalar
+
+    @pytest.mark.parametrize("width", [2, 3, 4, 5])
+    def test_digit_shape(self, width):
+        rng = random.Random(100 + width)
+        half = 1 << (width - 1)
+        for _ in range(10):
+            digits = wnaf_digits(rng.getrandbits(80), width)
+            for digit in digits:
+                assert digit == 0 or (digit % 2 == 1 and abs(digit) < half)
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ParameterError):
+            wnaf_digits(-1, 4)
+        with pytest.raises(ParameterError):
+            wnaf_digits(5, 1)
+
+
+class TestFixedBaseTable:
+    def test_matches_scalar_mult_random(self, any_group, rng):
+        point = any_group.random_point(rng)
+        table = FixedBaseTable(point, any_group.q.bit_length())
+        curve = any_group.ssc.curve
+        for _ in range(25):
+            k = rng.randrange(-any_group.q, any_group.q)
+            fast = table.mult(k)
+            direct = curve.scalar_mult(point, k)
+            assert fast == direct
+            assert fast.to_bytes() == direct.to_bytes()
+
+    def test_edge_scalars(self, any_group, rng):
+        point = any_group.random_point(rng)
+        table = FixedBaseTable(point, any_group.q.bit_length())
+        curve = any_group.ssc.curve
+        for k in _edge_scalars(any_group.q):
+            assert table.mult(k) == curve.scalar_mult(point, k), k
+
+    def test_overflow_scalar_falls_back(self, group, rng):
+        point = group.random_point(rng)
+        table = FixedBaseTable(point, group.q.bit_length())
+        k = 1 << (group.q.bit_length() + 13)
+        assert table.mult(k) == group.ssc.curve.scalar_mult(point, k)
+
+    def test_infinity_base(self, group):
+        table = FixedBaseTable(group.identity(), group.q.bit_length())
+        assert table.mult(12345).is_infinity
+        assert table.table_points == 0
+
+    @pytest.mark.parametrize("width", [1, 2, 3, 5])
+    def test_other_widths(self, group, rng, width):
+        point = group.random_point(rng)
+        table = FixedBaseTable(point, group.q.bit_length(), width=width)
+        for _ in range(5):
+            k = rng.randrange(group.q)
+            assert table.mult(k) == group.ssc.curve.scalar_mult(point, k)
+
+    def test_rejects_bad_parameters(self, group):
+        with pytest.raises(ParameterError):
+            FixedBaseTable(group.generator, group.q.bit_length(), width=0)
+        with pytest.raises(ParameterError):
+            FixedBaseTable(group.generator, 0)
+
+    def test_group_mul_fast_path_identical(self, any_group, rng):
+        point = any_group.random_point(rng)
+        scalars = [rng.randrange(any_group.q) for _ in range(10)]
+        direct = [any_group.mul(point, k) for k in scalars]
+        any_group.precompute(point)
+        fast = [any_group.mul(point, k) for k in scalars]
+        assert [p.to_bytes() for p in fast] == [p.to_bytes() for p in direct]
+
+
+class TestMultiScalarMult:
+    def _naive(self, curve, pairs):
+        total = curve.infinity()
+        for k, p in pairs:
+            total = total + curve.scalar_mult(p, k)
+        return total
+
+    def test_matches_naive_random(self, any_group, rng):
+        curve = any_group.ssc.curve
+        for _ in range(15):
+            pairs = [
+                (rng.randrange(-any_group.q, any_group.q), any_group.random_point(rng))
+                for _ in range(rng.randrange(1, 5))
+            ]
+            fast = curve.multi_scalar_mult(pairs)
+            assert fast == self._naive(curve, pairs)
+
+    def test_edge_cases(self, group, rng):
+        curve = group.ssc.curve
+        p1 = group.random_point(rng)
+        p2 = group.random_point(rng)
+        assert curve.multi_scalar_mult([]).is_infinity
+        assert curve.multi_scalar_mult([(0, p1)]).is_infinity
+        assert curve.multi_scalar_mult([(7, curve.infinity())]).is_infinity
+        assert curve.multi_scalar_mult([(1, p1), (-1, p1)]).is_infinity
+        for pairs in (
+            [(group.q - 1, p1), (group.q + 1, p2)],
+            [(-5, p1), (3, p2)],
+            [(1, p1), (1, p1), (1, p1)],
+        ):
+            assert curve.multi_scalar_mult(pairs) == self._naive(curve, pairs)
+
+    def test_small_scalars_use_narrow_window(self, group, rng):
+        curve = group.ssc.curve
+        pairs = [(3, group.random_point(rng)), (11, group.random_point(rng))]
+        assert curve.multi_scalar_mult(pairs) == self._naive(curve, pairs)
+
+
+class TestAdaptiveScalarMult:
+    def test_matches_affine_ladder_across_sizes(self, any_group, rng):
+        curve = any_group.ssc.curve
+        point = any_group.random_point(rng)
+        scalars = [1, 2, 3, 12, 100, 1 << 11, 1 << 33, 1 << 101]
+        scalars += [rng.getrandbits(bits) | 1 for bits in (8, 16, 40, 110)]
+        for k in scalars:
+            assert curve.scalar_mult(point, k) == point.affine_scalar_mult(k)
