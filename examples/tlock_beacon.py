@@ -42,16 +42,16 @@ def main() -> None:
     t3 = Type3TimedRelease(engine)
     receiver = t3.generate_user_keypair(beacon.public_key, rng)
     assert receiver.verify_well_formed(engine, beacon.public_key)
-    private_ct = t3.encrypt(
+    bound_ct = t3.encrypt(
         b"for your eyes only, after round 4300", receiver,
         beacon.public_key, 4300, rng,
     )
     sig = beacon.publish_round(4300)
     try:
-        t3.decrypt(private_ct, 1, sig)  # the signature alone
+        t3.decrypt(bound_ct, 1, sig)  # the signature alone
     except DecryptionError:
         print("receiver-bound variant: round signature alone opens nothing")
-    print("  ->", t3.decrypt(private_ct, receiver, sig).decode())
+    print("  ->", t3.decrypt(bound_ct, receiver, sig).decode())
 
 
 if __name__ == "__main__":

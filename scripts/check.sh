@@ -28,7 +28,8 @@ if [ "$fast" -eq 0 ]; then
 fi
 
 step "crypto-hygiene lint (repro.lint)"
-PYTHONPATH=src python -m repro.lint src || failures=$((failures + 1))
+PYTHONPATH=src python -m repro.lint src examples benchmarks \
+    --check-baseline --self-time-budget 60 || failures=$((failures + 1))
 
 step "ruff"
 if command -v ruff >/dev/null 2>&1; then

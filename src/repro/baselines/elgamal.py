@@ -20,6 +20,7 @@ import random
 from dataclasses import dataclass
 
 from repro.crypto.kdf import derive_key
+from repro.crypto.redact import redacted_repr
 from repro.ec.point import CurvePoint
 from repro.encoding import xor_bytes
 from repro.pairing.api import PairingGroup
@@ -27,6 +28,7 @@ from repro.pairing.api import PairingGroup
 _KDF_LABEL = "repro:elgamal"
 
 
+@redacted_repr("public")
 @dataclass(frozen=True)
 class ElGamalKeyPair:
     private: int

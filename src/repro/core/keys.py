@@ -19,6 +19,7 @@ import random
 from dataclasses import dataclass
 
 from repro.crypto.kdf import derive_key
+from repro.crypto.redact import redacted_repr
 from repro.ec.point import CurvePoint
 from repro.encoding import pack_chunks, unpack_chunks
 from repro.errors import EncodingError, KeyValidationError
@@ -61,6 +62,7 @@ class ServerPublicKey:
         )
 
 
+@redacted_repr("public")
 @dataclass(frozen=True)
 class ServerKeyPair:
     """The time server's key pair: private ``s`` plus ``(G, sG)``."""
@@ -127,6 +129,7 @@ class UserPublicKey:
         )
 
 
+@redacted_repr("public")
 @dataclass(frozen=True)
 class UserKeyPair:
     """A receiver's key pair: private ``a`` plus ``(aG, asG)``."""
@@ -143,6 +146,9 @@ class UserKeyPair:
     ) -> "UserKeyPair":
         """User key generation (§5.1) against a chosen time server."""
         a = group.random_scalar(rng)
+        # lint: allow[RP202] from_secret's a==0 rejection branches on the
+        # secret, but it reveals only key invalidity (probability ~2^-64)
+        # and is required for correctness.
         return cls.from_secret(group, server_public, a)
 
     @classmethod
@@ -181,4 +187,6 @@ class UserKeyPair:
         can link it to the CA-certified old key without re-certification
         (see :mod:`repro.core.certification`).
         """
+        # lint: allow[RP202] same a==0 rejection branch as in generate():
+        # reveals only key invalidity, never taken for a valid keypair.
         return self.from_secret(group, new_server_public, self.private)

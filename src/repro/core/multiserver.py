@@ -21,6 +21,7 @@ import random
 from dataclasses import dataclass
 
 from repro.core.keys import ServerPublicKey, UserPublicKey
+from repro.crypto.redact import redacted_repr
 from repro.core.timeserver import TimeBoundKeyUpdate
 from repro.core.tre import H1_TAG, H2_TAG
 from repro.ec.point import CurvePoint
@@ -34,6 +35,7 @@ from repro.errors import (
 from repro.pairing.api import PairingGroup
 
 
+@redacted_repr("components")
 @dataclass(frozen=True)
 class MultiServerUserKeyPair:
     """Secret ``a`` plus one ``(aG_i, a·s_iG_i)`` component per server."""

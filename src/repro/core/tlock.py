@@ -29,6 +29,7 @@ import random
 from dataclasses import dataclass
 
 from repro.crypto.authenc import aead_decrypt, aead_encrypt
+from repro.crypto.redact import redacted_repr
 from repro.ec.point import CurvePoint
 from repro.errors import (
     KeyValidationError,
@@ -148,6 +149,7 @@ class TimelockEncryption:
         )
 
 
+@redacted_repr("a_g1", "a_pk")
 @dataclass(frozen=True)
 class Type3UserKeyPair:
     """Receiver key for the Type-3 TRE: ``(a, (a·G1, a·pk))``."""

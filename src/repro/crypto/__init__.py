@@ -9,6 +9,7 @@ encrypt-then-MAC DEM here protects arbitrary-length payloads.
 
 from repro.crypto.ct import bytes_eq
 from repro.crypto.kdf import derive_key
+from repro.crypto.redact import redacted_repr
 from repro.crypto.stream import keystream, stream_xor
 from repro.crypto.mac import compute_mac, verify_mac
 from repro.crypto.authenc import aead_decrypt, aead_encrypt
@@ -22,4 +23,5 @@ __all__ = [
     "verify_mac",
     "aead_encrypt",
     "aead_decrypt",
+    "redacted_repr",
 ]

@@ -1,0 +1,62 @@
+"""Redacted reprs for key-holding dataclasses.
+
+A dataclass-generated ``__repr__`` renders every field, so a keypair
+that reaches a log line, an exception message or an interactive
+session prints its secret scalar.  :func:`redacted_repr` replaces the
+generated ``__repr__`` with one that renders only the explicitly
+whitelisted public fields and shows every other field as
+:data:`_REDACTED` — opt-in visibility, so a newly added field is
+hidden by default.
+
+Usage::
+
+    @redacted_repr("public")
+    @dataclass(frozen=True)
+    class ServerKeyPair:
+        private: int
+        public: ServerPublicKey
+
+``repr(ServerKeyPair(...))`` then prints
+``ServerKeyPair(private=<redacted>, public=...)``.
+
+The static analyzer (``repro.lint`` rule RP201) recognizes the
+decorator as proof that the generated repr cannot leak.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+_REDACTED = "<redacted>"
+
+
+def redacted_repr(*public_fields: str):
+    """Class decorator: repr only ``public_fields``, redact the rest.
+
+    Apply *above* ``@dataclass`` so the fields exist when the decorator
+    runs.  Unknown names in ``public_fields`` raise immediately — a
+    typo must not silently redact the wrong field forever.
+    """
+
+    def decorate(cls):
+        names = tuple(f.name for f in dataclasses.fields(cls))
+        unknown = [name for name in public_fields if name not in names]
+        if unknown:
+            raise TypeError(
+                f"redacted_repr: {cls.__name__} has no field(s) {unknown!r}"
+            )
+
+        def __repr__(self) -> str:
+            parts = ", ".join(
+                f"{name}={getattr(self, name)!r}"
+                if name in public_fields
+                else f"{name}={_REDACTED}"
+                for name in names
+            )
+            return f"{type(self).__name__}({parts})"
+
+        __repr__.__qualname__ = f"{cls.__qualname__}.__repr__"
+        cls.__repr__ = __repr__
+        return cls
+
+    return decorate

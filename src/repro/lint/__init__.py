@@ -21,7 +21,22 @@ RP104     point-validation  decoded group elements are validated (on-curve +
                             subgroup) before they escape the decoder
 RP105     hash-domain       no raw ``a + b`` concatenation fed to a hash; core
                             code uses the domain-separated helpers
+RP201     secret-flow-sink  no interprocedural dataflow path from a secret to
+                            a rendering sink (f-string, ``print``, logging,
+                            exception message, dataclass ``__repr__``)
+RP202     secret-branch     no branch or loop condition decided by a secret
+                            (variable-time control flow)
+RP203     secret-serialize  no secret or raw pairing output serialized or
+                            persisted without first passing a KDF
+RP204     taint-escape      no secret passed into an untracked third-party
+                            call
 ========  ================  ====================================================
+
+RP1xx are single-node pattern rules (:mod:`repro.lint.rules`); RP2xx
+come from the whole-program taint analysis (:mod:`repro.lint.flow`),
+which propagates a CLEAN < DERIVED < SECRET lattice through function
+summaries to a fixpoint and reports at the call site that supplies the
+secret, however many calls separate it from the sink.
 
 Suppression is explicit and reviewable: an inline
 ``# lint: allow[rule-name] justification`` waiver on (or directly
@@ -42,12 +57,15 @@ from repro.lint.engine import (
     split_by_baseline,
 )
 from repro.lint.findings import Finding
-from repro.lint.rules import ALL_RULES, get_rule
+from repro.lint.flow import FLOW_RULES
+from repro.lint.rules import ALL_RULES, all_rule_ids, get_rule
 
 __all__ = [
     "ALL_RULES",
+    "FLOW_RULES",
     "Finding",
     "LintReport",
+    "all_rule_ids",
     "format_baseline",
     "get_rule",
     "lint_paths",

@@ -1,5 +1,12 @@
 """The lint engine: file discovery, parsing, rule dispatch, waivers.
 
+Since the interprocedural flow pass (``repro.lint.flow``) landed, a
+lint run is two-phase: every requested file is parsed up front, the
+single-node RP1xx rules run per module, then the whole-program taint
+analysis runs once over all parsed modules and its RP2xx findings are
+merged back onto the module they report against.  Waivers, baselining
+and fingerprints apply uniformly to both families.
+
 Waivers are inline comments of the form::
 
     risky_call()  # lint: allow[rule-name] why this is sound here
@@ -8,7 +15,9 @@ naming the rule by id (``RP104``) or name (``point-validation``),
 optionally several separated by commas.  A waiver applies to its own
 line or, when placed alone on a line, to the line directly below (for
 statements that do not fit on one line).  Waivers are expected to carry
-a justification; the gate counts them so reviews can watch the trend.
+a justification; the gate counts them so reviews can watch the trend,
+and a waiver that suppresses nothing is itself reported (a hard error
+under ``--check-baseline``) so stale suppressions cannot linger.
 """
 
 from __future__ import annotations
@@ -19,9 +28,24 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.lint.findings import Finding, attach_fingerprints
+from repro.lint.flow import analyze_program
 from repro.lint.rules import ALL_RULES, ModuleContext, Rule
 
 _WAIVER = re.compile(r"#\s*lint:\s*allow\[([^\]]+)\]")
+
+# A flow finding duplicating a single-node finding of the paired legacy
+# rule on the same line is dropped — one leak, one report.
+_FLOW_SHADOWS = {"RP201": "RP103", "RP202": "RP102"}
+
+
+@dataclass
+class ParsedModule:
+    """One file, parsed once and shared by both analysis phases."""
+
+    path: str
+    package_path: str
+    tree: ast.Module
+    lines: list[str]
 
 
 @dataclass
@@ -31,8 +55,10 @@ class LintReport:
     new: list[Finding] = field(default_factory=list)
     baselined: list[Finding] = field(default_factory=list)
     stale_baseline: list[str] = field(default_factory=list)
+    unused_waivers: list[str] = field(default_factory=list)
     waived: int = 0
     files_checked: int = 0
+    elapsed: float = 0.0
 
     @property
     def clean(self) -> bool:
@@ -52,30 +78,147 @@ def package_relative(path: str) -> str:
     return ""
 
 
-def _waived_rules(lines: list[str], line: int) -> set[str]:
-    """Rule ids/names waived for 1-based source line ``line``.
+def _waiver_providers(lines: list[str], line: int) -> dict[str, int]:
+    """token -> comment line that waives it, for 1-based source ``line``.
 
     A waiver counts when it sits on the offending line itself or in the
     contiguous block of comment-only lines directly above it (waiver
     comments may wrap across several lines).
     """
-    waived: set[str] = set()
+    providers: dict[str, int] = {}
 
-    def collect(text: str) -> None:
-        match = _WAIVER.search(text)
+    def collect(number: int) -> None:
+        match = _WAIVER.search(lines[number - 1])
         if match:
-            waived.update(part.strip() for part in match.group(1).split(","))
+            for part in match.group(1).split(","):
+                providers.setdefault(part.strip(), number)
 
     if 0 < line <= len(lines):
-        collect(lines[line - 1])
+        collect(line)
     candidate = line - 1
     while 0 < candidate <= len(lines):
         text = lines[candidate - 1]
         if not text.strip() or not text.lstrip().startswith("#"):
             break
-        collect(text)
+        collect(candidate)
         candidate -= 1
-    return waived
+    return providers
+
+
+def _all_waiver_tokens(lines: list[str]) -> list[tuple[int, str]]:
+    """Every (comment_line, token) waiver declaration in a module.
+
+    Only tokens naming a *known* rule are tracked for unused-waiver
+    reporting: the waiver syntax appears in docstrings and docs with
+    placeholder tokens (``allow[rule-name]``), and a placeholder is not
+    a stale suppression.
+    """
+    from repro.lint.rules import ALL_RULES
+    from repro.lint.flow import FLOW_RULES
+
+    known = {rule.id for rule in (*ALL_RULES, *FLOW_RULES)} | {
+        rule.name for rule in (*ALL_RULES, *FLOW_RULES)
+    }
+    out: list[tuple[int, str]] = []
+    for number, text in enumerate(lines, start=1):
+        match = _WAIVER.search(text)
+        if match:
+            out.extend(
+                (number, token)
+                for token in (part.strip() for part in match.group(1).split(","))
+                if token in known
+            )
+    return out
+
+
+def parse_module(source: str, path: str, package_path: str | None = None) -> ParsedModule:
+    if package_path is None:
+        package_path = package_relative(path)
+    return ParsedModule(
+        path=path,
+        package_path=package_path,
+        tree=ast.parse(source, filename=path),
+        lines=source.splitlines(),
+    )
+
+
+def _module_rule_findings(
+    module: ParsedModule, rules: tuple[Rule, ...]
+) -> list[Finding]:
+    findings: list[Finding] = []
+    for rule in rules:
+        context = ModuleContext(
+            path=module.path,
+            package_path=module.package_path,
+            tree=module.tree,
+            lines=module.lines,
+        )
+        if not rule.applies_to(context):
+            continue
+        findings.extend(rule.check(context))
+    return findings
+
+
+def _drop_shadowed(findings: list[Finding]) -> list[Finding]:
+    legacy_lines = {
+        (finding.rule, finding.line) for finding in findings if finding.rule < "RP2"
+    }
+    return [
+        finding
+        for finding in findings
+        if finding.rule not in _FLOW_SHADOWS
+        or (_FLOW_SHADOWS[finding.rule], finding.line) not in legacy_lines
+    ]
+
+
+def analyze_modules(
+    modules: list[ParsedModule],
+    rules: tuple[Rule, ...] = ALL_RULES,
+    flow: bool = True,
+) -> tuple[list[Finding], int, list[str]]:
+    """Both analysis phases plus waiver/fingerprint bookkeeping.
+
+    Returns ``(findings, waived_count, unused_waiver_messages)``.
+    """
+    by_path: dict[str, list[Finding]] = {module.path: [] for module in modules}
+    for module in modules:
+        by_path[module.path].extend(_module_rule_findings(module, rules))
+    if flow:
+        flow_findings = analyze_program(
+            [(m.path, m.package_path, m.tree, m.lines) for m in modules]
+        )
+        for finding in flow_findings:
+            by_path.setdefault(finding.path, []).append(finding)
+
+    findings: list[Finding] = []
+    waived = 0
+    unused: list[str] = []
+    module_by_path = {module.path: module for module in modules}
+    for path, raw in by_path.items():
+        module = module_by_path[path]
+        kept: list[Finding] = []
+        used: set[tuple[int, str]] = set()
+        for finding in _drop_shadowed(raw):
+            providers = _waiver_providers(module.lines, finding.line)
+            provider_line = providers.get(finding.rule, providers.get(finding.name))
+            if provider_line is not None:
+                waived += 1
+                token = finding.rule if finding.rule in providers else finding.name
+                used.add((provider_line, token))
+            else:
+                kept.append(finding)
+        for number, token in _all_waiver_tokens(module.lines):
+            if (number, token) not in used:
+                unused.append(
+                    f"{path}:{number}: unused waiver `# lint: allow[{token}]` "
+                    "(suppresses nothing — remove it or fix the tag)"
+                )
+        # Fingerprint against the package-relative path so baselines
+        # survive checkout moves and out-of-tree working directories.
+        findings.extend(
+            attach_fingerprints(kept, module.lines, module.package_path or path)
+        )
+    return findings, waived, sorted(unused)
 
 
 def lint_source(
@@ -83,37 +226,18 @@ def lint_source(
     path: str,
     rules: tuple[Rule, ...] = ALL_RULES,
     package_path: str | None = None,
+    flow: bool = True,
 ) -> tuple[list[Finding], int]:
     """Lint one module's text; returns (findings, waived_count).
 
     ``path`` is what findings report; ``package_path`` overrides scope
     resolution (used by fixture tests to pretend a snippet lives in,
-    say, ``core/``).
+    say, ``core/``).  The flow analysis sees just this one module, so
+    intra-module interprocedural flows are still found.
     """
-    tree = ast.parse(source, filename=path)
-    lines = source.splitlines()
-    if package_path is None:
-        package_path = package_relative(path)
-    findings: list[Finding] = []
-    waived = 0
-    for rule in rules:
-        context = ModuleContext(
-            path=path,
-            package_path=package_path,
-            tree=tree,
-            lines=lines,
-        )
-        if not rule.applies_to(context):
-            continue
-        for finding in rule.check(context):
-            allowed = _waived_rules(lines, finding.line)
-            if finding.rule in allowed or finding.name in allowed:
-                waived += 1
-            else:
-                findings.append(finding)
-    # Fingerprint against the package-relative path so baselines survive
-    # both checkout moves and linting from a different working directory.
-    return attach_fingerprints(findings, lines, package_path or path), waived
+    module = parse_module(source, path, package_path)
+    findings, waived, _ = analyze_modules([module], rules, flow=flow)
+    return findings, waived
 
 
 def iter_python_files(paths: list[str | Path]):
@@ -125,20 +249,20 @@ def iter_python_files(paths: list[str | Path]):
             yield path
 
 
+def parse_paths(paths: list[str | Path]) -> list[ParsedModule]:
+    return [
+        parse_module(file_path.read_text(encoding="utf-8"), file_path.as_posix())
+        for file_path in iter_python_files(paths)
+    ]
+
+
 def lint_paths(
     paths: list[str | Path], rules: tuple[Rule, ...] = ALL_RULES
 ) -> tuple[list[Finding], int, int]:
     """Lint files/trees; returns (findings, waived_count, files_checked)."""
-    findings: list[Finding] = []
-    waived = 0
-    checked = 0
-    for file_path in iter_python_files(paths):
-        source = file_path.read_text(encoding="utf-8")
-        file_findings, file_waived = lint_source(source, file_path.as_posix())
-        findings.extend(file_findings)
-        waived += file_waived
-        checked += 1
-    return findings, waived, checked
+    modules = parse_paths(paths)
+    findings, waived, _ = analyze_modules(modules, rules)
+    return findings, waived, len(modules)
 
 
 def split_by_baseline(
@@ -164,12 +288,18 @@ def split_by_baseline(
 
 def run(paths: list[str | Path], baseline: set[str] | None = None) -> LintReport:
     """Full pipeline used by the CLI and the pytest gate."""
-    findings, waived, checked = lint_paths(paths)
+    import time
+
+    started = time.perf_counter()
+    modules = parse_paths(paths)
+    findings, waived, unused = analyze_modules(modules)
     new, matched, stale = split_by_baseline(findings, baseline or set())
     return LintReport(
         new=new,
         baselined=matched,
         stale_baseline=stale,
+        unused_waivers=unused,
         waived=waived,
-        files_checked=checked,
+        files_checked=len(modules),
+        elapsed=time.perf_counter() - started,
     )

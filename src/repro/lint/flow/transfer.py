@@ -1,0 +1,578 @@
+"""Per-function transfer: abstract interpretation of one function body.
+
+The analyzer walks a function's statements in order, mapping local
+names to :class:`~repro.lint.flow.lattice.Taint` values.  Branches are
+analyzed on copies of the environment and joined; loop bodies run twice
+(enough for a join-lattice of height 2).  The output is a
+:class:`Summary` — the function's interprocedural contract:
+
+* ``returns`` — taint of the return value, with the parameter indices
+  that flow into it;
+* ``param_sinks`` — parameters that reach a sink *inside* the function
+  (directly or through further calls), so a call site passing a secret
+  argument is reported even when the leak is several hops away.
+
+Findings are emitted only on the reporting pass (after the summary
+fixpoint), and only when a value is *concretely* tainted — a parameter
+that merely might be secret records a summary entry instead, and the
+call site that actually supplies a secret gets the finding.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.lint.flow.callgraph import FunctionInfo
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.lint.flow.analysis import ProgramAnalysis
+from repro.lint.flow.lattice import (
+    CLEAN,
+    DERIVED,
+    SECRET,
+    TAINT_CLEAN,
+    Taint,
+    join_all,
+)
+from repro.lint.flow import registry as reg
+
+RP201 = "RP201"
+RP202 = "RP202"
+RP203 = "RP203"
+RP204 = "RP204"
+
+# Minimum concrete taint level at which each rule fires.  RP201/RP203
+# include DERIVED: pre-KDF pairing values must not be rendered or
+# serialized.  RP202/RP204 demand SECRET to keep verification-pairing
+# branches and generic helper calls quiet.
+RULE_THRESHOLD = {RP201: DERIVED, RP202: SECRET, RP203: DERIVED, RP204: SECRET}
+
+_MAX_DESC = 90
+
+
+@dataclass
+class Summary:
+    """A function's interprocedural contract."""
+
+    returns: Taint = TAINT_CLEAN
+    # (param index, rule id) -> (call depth to the sink, description).
+    # The description is the *original* sink's, never re-composed, so
+    # summary entries are stable and the fixpoint terminates.
+    param_sinks: dict[tuple[int, str], tuple[int, str]] = field(default_factory=dict)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Summary)
+            and self.returns == other.returns
+            and self.param_sinks == other.param_sinks
+        )
+
+
+def _clip(desc: str) -> str:
+    return desc if len(desc) <= _MAX_DESC else desc[: _MAX_DESC - 1] + "…"
+
+
+def _qualify(level: int) -> str:
+    return "secret" if level >= SECRET else "secret-derived"
+
+
+class FunctionTransfer:
+    """Analyze one function body against the current summary table."""
+
+    def __init__(self, func: FunctionInfo, program: "ProgramAnalysis", report: bool):
+        self.func = func
+        self.program = program
+        self.report = report
+        self.env: dict[str, Taint] = {}
+        self.returns = TAINT_CLEAN
+        self.param_sinks: dict[tuple[int, str], tuple[int, str]] = {}
+        self.param_index = {name: i for i, name in enumerate(func.params)}
+        for i, name in enumerate(func.params):
+            level = SECRET if reg.is_secret_name(name) else CLEAN
+            self.env[name] = Taint(level, frozenset(((i, True),)))
+
+    # -- driver -------------------------------------------------------------
+
+    def run(self) -> Summary:
+        body = getattr(self.func.node, "body", [])
+        self.exec_block(body, self.env)
+        return Summary(self.returns, dict(self.param_sinks))
+
+    # -- findings and summary entries ---------------------------------------
+
+    def _emit(self, node: ast.AST, rule: str, message: str) -> None:
+        if self.report:
+            self.program.emit(self.func, node, rule, message)
+
+    def _sink(
+        self, node: ast.AST, rule: str, taint: Taint, happened: str
+    ) -> None:
+        """A tainted value reached a sink described by ``happened``."""
+        threshold = RULE_THRESHOLD[rule]
+        if taint.level >= threshold:
+            self._emit(node, rule, f"{_qualify(taint.level)} value {happened}")
+        elif taint.direct_deps():
+            # Only *direct* flows become summary entries: rendering a
+            # neutral field of an object that also holds a key is not a
+            # leak of the key.
+            desc = _clip(f"{happened} in `{self.func.name}`")
+            for dep in taint.direct_deps():
+                self.param_sinks.setdefault((dep, rule), (0, desc))
+
+    # -- statements ---------------------------------------------------------
+
+    def exec_block(self, stmts: list[ast.stmt], env: dict[str, Taint]) -> None:
+        for stmt in stmts:
+            self.exec_stmt(stmt, env)
+
+    def exec_stmt(self, stmt: ast.stmt, env: dict[str, Taint]) -> None:
+        if isinstance(
+            stmt,
+            (
+                ast.FunctionDef,
+                ast.AsyncFunctionDef,
+                ast.ClassDef,
+                ast.Import,
+                ast.ImportFrom,
+                ast.Global,
+                ast.Nonlocal,
+                ast.Pass,
+                ast.Break,
+                ast.Continue,
+            ),
+        ):
+            return
+        if isinstance(stmt, ast.Assign):
+            taint = self.eval(stmt.value, env)
+            for target in stmt.targets:
+                self.bind(target, taint, env)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self.bind(stmt.target, self.eval(stmt.value, env), env)
+        elif isinstance(stmt, ast.AugAssign):
+            taint = self.eval(stmt.value, env).join(
+                self.eval(stmt.target, env, as_load=True)
+            )
+            self.bind(stmt.target, taint, env)
+        elif isinstance(stmt, ast.Return):
+            taint = self.eval(stmt.value, env) if stmt.value is not None else TAINT_CLEAN
+            self.returns = self.returns.join(taint)
+            if reg.is_serializer_name(self.func.name):
+                self._sink(
+                    stmt,
+                    RP203,
+                    taint,
+                    f"returned from serializer `{self.func.name}` without a KDF",
+                )
+        elif isinstance(stmt, ast.Expr):
+            self.eval(stmt.value, env)
+        elif isinstance(stmt, ast.If):
+            self._branch_check(stmt.test, env)
+            then_env, else_env = dict(env), dict(env)
+            self.exec_block(stmt.body, then_env)
+            self.exec_block(stmt.orelse, else_env)
+            self._merge(env, then_env, else_env)
+        elif isinstance(stmt, ast.While):
+            self._branch_check(stmt.test, env)
+            loop_env = dict(env)
+            self.exec_block(stmt.body, loop_env)
+            self.exec_block(stmt.body, loop_env)
+            self.exec_block(stmt.orelse, loop_env)
+            self._merge(env, loop_env)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            iter_taint = self.eval(stmt.iter, env)
+            loop_env = dict(env)
+            self.bind(stmt.target, iter_taint, loop_env)
+            self.exec_block(stmt.body, loop_env)
+            self.exec_block(stmt.body, loop_env)
+            self.exec_block(stmt.orelse, loop_env)
+            self._merge(env, loop_env)
+        elif isinstance(stmt, ast.Try):
+            self.exec_block(stmt.body, env)
+            for handler in stmt.handlers:
+                if handler.name:
+                    env[handler.name] = TAINT_CLEAN
+                self.exec_block(handler.body, env)
+            self.exec_block(stmt.orelse, env)
+            self.exec_block(stmt.finalbody, env)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                taint = self.eval(item.context_expr, env)
+                if item.optional_vars is not None:
+                    self.bind(item.optional_vars, taint, env)
+            self.exec_block(stmt.body, env)
+        elif isinstance(stmt, ast.Raise):
+            self._check_raise(stmt, env)
+        elif isinstance(stmt, ast.Assert):
+            self._branch_check(stmt.test, env)
+            if stmt.msg is not None:
+                self._sink(
+                    stmt.msg,
+                    RP201,
+                    self.eval(stmt.msg, env),
+                    "rendered in an assert message",
+                )
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    env.pop(target.id, None)
+        elif isinstance(stmt, ast.Match):
+            self.eval(stmt.subject, env)
+            for case in stmt.cases:
+                case_env = dict(env)
+                self.exec_block(case.body, case_env)
+                self._merge(env, case_env)
+
+    def _merge(self, into: dict[str, Taint], *branches: dict[str, Taint]) -> None:
+        for branch in branches:
+            for key, value in branch.items():
+                into[key] = into.get(key, TAINT_CLEAN).join(value)
+
+    def _branch_check(self, test: ast.expr, env: dict[str, Taint]) -> None:
+        taint = self.eval(test, env)
+        self._sink(
+            test,
+            RP202,
+            taint,
+            "decides a branch (variable-time control flow on a secret)",
+        )
+
+    def _check_raise(self, stmt: ast.Raise, env: dict[str, Taint]) -> None:
+        exc = stmt.exc
+        if exc is None:
+            return
+        args = (
+            [*exc.args, *[kw.value for kw in exc.keywords]]
+            if isinstance(exc, ast.Call)
+            else [exc]
+        )
+        for arg in args:
+            self._sink(
+                arg,
+                RP201,
+                self.eval(arg, env),
+                "rendered into a raised exception message",
+            )
+
+    # -- binding ------------------------------------------------------------
+
+    def bind(self, target: ast.expr, taint: Taint, env: dict[str, Taint]) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = taint
+        elif isinstance(target, ast.Starred):
+            self.bind(target.value, taint, env)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self.bind(elt, taint, env)
+        elif isinstance(target, ast.Attribute):
+            if isinstance(target.value, ast.Name):
+                env[f"{target.value.id}.{target.attr}"] = taint
+        elif isinstance(target, ast.Subscript):
+            if isinstance(target.value, ast.Name):
+                base = target.value.id
+                env[base] = env.get(base, TAINT_CLEAN).join(taint)
+
+    # -- expressions --------------------------------------------------------
+
+    def eval(
+        self,
+        node: ast.expr | None,
+        env: dict[str, Taint],
+        *,
+        as_load: bool = False,
+        no_serialize_sinks: bool = False,
+    ) -> Taint:
+        if node is None:
+            return TAINT_CLEAN
+        if isinstance(node, ast.Constant):
+            return TAINT_CLEAN
+        if isinstance(node, ast.Name):
+            if node.id in env:
+                return env[node.id]
+            return Taint(SECRET) if reg.is_secret_name(node.id) else TAINT_CLEAN
+        if isinstance(node, ast.Attribute):
+            key = (
+                f"{node.value.id}.{node.attr}"
+                if isinstance(node.value, ast.Name)
+                else None
+            )
+            if key is not None and key in env:
+                return env[key]
+            base = self.eval(node.value, env)
+            if reg.is_secret_name(node.attr):
+                return Taint(SECRET, base.deps)
+            if reg.is_public_name(node.attr):
+                return TAINT_CLEAN
+            return base.demoted()
+        if isinstance(node, ast.Call):
+            return self.eval_call(node, env, no_serialize_sinks=no_serialize_sinks)
+        if isinstance(node, ast.JoinedStr):
+            out = TAINT_CLEAN
+            for part in node.values:
+                if isinstance(part, ast.FormattedValue):
+                    taint = self.eval(part.value, env)
+                    self._sink(part.value, RP201, taint, "formatted into an f-string")
+                    out = out.join(taint)
+            return out
+        if isinstance(node, ast.BinOp):
+            return self.eval(node.left, env).join(self.eval(node.right, env))
+        if isinstance(node, ast.UnaryOp):
+            return self.eval(node.operand, env)
+        if isinstance(node, ast.BoolOp):
+            return join_all([self.eval(v, env) for v in node.values])
+        if isinstance(node, ast.Compare):
+            return join_all(
+                [self.eval(node.left, env)]
+                + [self.eval(c, env) for c in node.comparators]
+            )
+        if isinstance(node, ast.IfExp):
+            self._branch_check(node.test, env)
+            return self.eval(node.body, env).join(self.eval(node.orelse, env))
+        if isinstance(node, (ast.List, ast.Tuple, ast.Set)):
+            return join_all([self.eval(e, env) for e in node.elts])
+        if isinstance(node, ast.Dict):
+            return join_all(
+                [self.eval(k, env) for k in node.keys if k is not None]
+                + [self.eval(v, env) for v in node.values]
+            )
+        if isinstance(node, ast.Subscript):
+            return self.eval(node.value, env)
+        if isinstance(node, ast.Slice):
+            return join_all(
+                [self.eval(p, env) for p in (node.lower, node.upper, node.step) if p]
+            )
+        if isinstance(node, ast.Starred):
+            return self.eval(node.value, env)
+        if isinstance(node, ast.Await):
+            return self.eval(node.value, env)
+        if isinstance(node, ast.NamedExpr):
+            taint = self.eval(node.value, env)
+            self.bind(node.target, taint, env)
+            return taint
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            taint = self.eval(node.value, env) if node.value is not None else TAINT_CLEAN
+            self.returns = self.returns.join(taint)
+            return TAINT_CLEAN
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+            comp_env = dict(env)
+            for gen in node.generators:
+                self.bind(gen.target, self.eval(gen.iter, comp_env), comp_env)
+                for cond in gen.ifs:
+                    self.eval(cond, comp_env)
+            if isinstance(node, ast.DictComp):
+                return self.eval(node.key, comp_env).join(
+                    self.eval(node.value, comp_env)
+                )
+            return self.eval(node.elt, comp_env)
+        if isinstance(node, ast.Lambda):
+            return TAINT_CLEAN
+        if isinstance(node, ast.FormattedValue):
+            return self.eval(node.value, env)
+        return TAINT_CLEAN
+
+    # -- calls --------------------------------------------------------------
+
+    def eval_call(
+        self,
+        node: ast.Call,
+        env: dict[str, Taint],
+        *,
+        no_serialize_sinks: bool = False,
+    ) -> Taint:
+        func = node.func
+        fname = None
+        base_name = None
+        is_attr = isinstance(func, ast.Attribute)
+        if isinstance(func, ast.Name):
+            fname = func.id
+        elif is_attr:
+            fname = func.attr
+            if isinstance(func.value, ast.Name):
+                base_name = func.value.id
+
+        sanitizing = fname in reg.SANITIZER_CALLS or (
+            is_attr and base_name in reg.SANITIZER_MODULES
+        )
+
+        # Serializing a value directly *into* a sanitizer
+        # (`derive_key(k.to_bytes(), ...)`) is the sanctioned idiom, so
+        # serialization sinks are suppressed inside sanitizer arguments.
+        suppress = no_serialize_sinks or sanitizing
+        pos_taints = [
+            self.eval(arg, env, no_serialize_sinks=suppress) for arg in node.args
+        ]
+        kw_taints = {
+            kw.arg: self.eval(kw.value, env, no_serialize_sinks=suppress)
+            for kw in node.keywords
+        }
+        all_args = pos_taints + list(kw_taints.values())
+        args_join = join_all(all_args)
+
+        if sanitizing:
+            return TAINT_CLEAN
+        if fname in reg.DECLASSIFIER_CALLS:
+            return TAINT_CLEAN
+        if fname in reg.SOURCE_CALLS:
+            return Taint(reg.SOURCE_CALLS[fname])
+        if fname in reg.PAIRING_CALLS:
+            base = self.eval(func.value, env) if is_attr else TAINT_CLEAN
+            return Taint(reg.PAIRING_LEVEL, args_join.deps | base.deps)
+
+        # -- rendering sinks (RP201) ----------------------------------------
+        sink_label = self._render_sink_label(func, fname, base_name)
+        if sink_label is not None:
+            for arg, taint in zip(node.args, pos_taints):
+                self._sink(arg, RP201, taint, f"passed to {sink_label}")
+            for kw, taint in zip(node.keywords, list(kw_taints.values())):
+                self._sink(kw.value, RP201, taint, f"passed to {sink_label}")
+            return TAINT_CLEAN
+
+        # -- persistence sinks (RP203) --------------------------------------
+        if not no_serialize_sinks and is_attr:
+            persist_label = None
+            if fname in reg.SERIALIZE_MODULE_CALLS and base_name in reg.SERIALIZER_MODULES:
+                persist_label = f"{base_name}.{fname}()"
+            elif fname in reg.PERSIST_METHODS and base_name not in reg.STDIO_RECEIVERS:
+                persist_label = f".{fname}()"
+            if persist_label is not None:
+                for arg, taint in zip(node.args, pos_taints):
+                    self._sink(
+                        arg,
+                        RP203,
+                        taint,
+                        f"serialized via {persist_label} without a KDF",
+                    )
+                return TAINT_CLEAN
+
+        # -- calls resolved inside the analyzed program ---------------------
+        base_taint = self.eval(func.value, env) if is_attr else None
+        resolved = self._apply_program_call(
+            node, fname, is_attr, base_taint, pos_taints, kw_taints, no_serialize_sinks
+        )
+        if resolved is not None:
+            return resolved
+
+        # -- untracked third-party boundary (RP204) -------------------------
+        imports = self.program.imports_of(self.func.path)
+        external = (
+            (not is_attr and fname is not None and imports.is_untracked(fname))
+            or (is_attr and base_name is not None and imports.is_untracked(base_name))
+        )
+        if external:
+            for arg, taint in zip(node.args, pos_taints):
+                self._sink(
+                    arg,
+                    RP204,
+                    taint,
+                    f"passed to untracked third-party call `{fname}()`",
+                )
+            for kw in node.keywords:
+                self._sink(
+                    kw.value,
+                    RP204,
+                    kw_taints[kw.arg],
+                    f"passed to untracked third-party call `{fname}()`",
+                )
+            return args_join
+
+        # Unresolved in-tree/builtin call: propagate argument taint (and
+        # the receiver's for method calls — `secret.hex()` stays secret;
+        # demoted because the result of an unknown method is a neutral
+        # projection of the receiver, not the receiver itself).
+        if base_taint is not None:
+            return args_join.join(base_taint.demoted())
+        return args_join
+
+    def _render_sink_label(
+        self, func: ast.expr, fname: str | None, base_name: str | None
+    ) -> str | None:
+        if isinstance(func, ast.Name) and fname in reg.RENDER_CALLS:
+            return f"{fname}()"
+        if isinstance(func, ast.Attribute):
+            if fname in reg.LOG_METHODS and base_name is not None:
+                if reg.name_tokens(base_name) & reg.LOG_RECEIVER_TOKENS:
+                    return f"{base_name}.{fname}()"
+            if fname in reg.WARN_CALLS:
+                return f"{fname}()"
+            if fname == "format":
+                return "str.format()"
+            if fname == "write" and base_name in reg.STDIO_RECEIVERS:
+                return f"{base_name}.write()"
+        return None
+
+    def _apply_program_call(
+        self,
+        node: ast.Call,
+        fname: str | None,
+        is_attr: bool,
+        base_taint: Taint | None,
+        pos_taints: list[Taint],
+        kw_taints: dict[str | None, Taint],
+        no_serialize_sinks: bool,
+    ) -> Taint | None:
+        """Apply summaries of in-program candidates; None when unresolved."""
+        if fname is None:
+            return None
+        if not is_attr and (self.program.is_class(fname) or fname == "cls"):
+            # Constructor: the instance is a *container*, tracked
+            # symbolically (non-direct deps) but not concretely — the
+            # object is not the secret it holds.  Secrets are recovered
+            # at field extraction (`kp.private`) by the name heuristics,
+            # and unredacted reprs by the structural dataclass check.
+            joined = join_all(pos_taints + list(kw_taints.values()))
+            return joined.with_level(CLEAN).demoted()
+        candidates = self.program.resolve_function(fname)
+        if is_attr:
+            usable = candidates
+        else:
+            usable = [c for c in candidates if not c.is_method] or candidates
+        if not usable:
+            return None
+        out = TAINT_CLEAN
+        for cand in usable[:8]:
+            param_taints: dict[int, Taint] = {}
+            offset = 0
+            if cand.is_method:
+                if is_attr and base_taint is not None:
+                    param_taints[0] = base_taint
+                offset = 1
+            for i, taint in enumerate(pos_taints):
+                param_taints[offset + i] = taint
+            index = {name: j for j, name in enumerate(cand.params)}
+            for kw_name, taint in kw_taints.items():
+                if kw_name is not None and kw_name in index:
+                    param_taints[index[kw_name]] = taint
+            summary = self.program.summary_of(cand)
+            for (pidx, rule), (depth, desc) in summary.param_sinks.items():
+                if no_serialize_sinks and rule == RP203:
+                    continue
+                arg_taint = param_taints.get(pidx)
+                if arg_taint is None:
+                    continue
+                if arg_taint.level >= RULE_THRESHOLD[rule]:
+                    pname = (
+                        cand.params[pidx] if pidx < len(cand.params) else f"#{pidx}"
+                    )
+                    self._emit(
+                        node,
+                        rule,
+                        f"{_qualify(arg_taint.level)} argument `{pname}` to "
+                        f"`{cand.name}()` reaches a sink {depth + 1} call(s) "
+                        f"deep in: {desc}",
+                    )
+                elif arg_taint.direct_deps():
+                    for dep in arg_taint.direct_deps():
+                        self.param_sinks.setdefault((dep, rule), (depth + 1, desc))
+            ret = Taint(summary.returns.level)
+            for pidx, direct in summary.returns.deps:
+                arg_taint = param_taints.get(pidx, TAINT_CLEAN)
+                if not direct:
+                    # Returning a neutral projection of the argument
+                    # forwards only symbolic (non-direct) flow, not the
+                    # argument's concrete taint.
+                    arg_taint = arg_taint.with_level(CLEAN).demoted()
+                ret = ret.join(arg_taint)
+            out = out.join(ret)
+        return out

@@ -25,9 +25,23 @@ ALL_RULES: tuple[Rule, ...] = (
 )
 
 
-def get_rule(identifier: str) -> Rule:
-    """Look a rule up by id ("RP101") or name ("rng-discipline")."""
-    for rule in ALL_RULES:
+def all_rule_ids() -> tuple[str, ...]:
+    """Every rule id the engine can report: AST rules + flow families."""
+    from repro.lint.flow import FLOW_RULE_IDS
+
+    return tuple(rule.id for rule in ALL_RULES) + tuple(FLOW_RULE_IDS)
+
+
+def get_rule(identifier: str):
+    """Look a rule up by id ("RP101"/"RP202") or name ("rng-discipline").
+
+    Returns a :class:`Rule` for the AST rules or a
+    :class:`repro.lint.flow.FlowRuleMeta` for the flow families — both
+    carry ``id``, ``name``, ``rationale`` and ``hint``.
+    """
+    from repro.lint.flow import FLOW_RULES
+
+    for rule in (*ALL_RULES, *FLOW_RULES):
         if identifier in (rule.id, rule.name):
             return rule
     raise KeyError(f"unknown lint rule {identifier!r}")
@@ -38,5 +52,6 @@ __all__ = [
     "CRYPTO_DIRS",
     "ModuleContext",
     "Rule",
+    "all_rule_ids",
     "get_rule",
 ]

@@ -1,0 +1,116 @@
+"""SARIF 2.1.0 export for lint reports.
+
+Static Analysis Results Interchange Format output lets CI surfaces
+(code-scanning dashboards, editor SARIF viewers) ingest repro.lint
+findings without bespoke glue.  One run, one tool (``repro.lint``),
+every RP1xx/RP2xx rule declared in the driver; new findings are plain
+results, baselined findings are included but marked suppressed so
+dashboards show them greyed-out rather than resurfacing them.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.engine import LintReport
+from repro.lint.findings import Finding
+from repro.lint.flow import FLOW_RULES
+from repro.lint.rules import ALL_RULES
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+_INFO_URI = "https://example.invalid/repro/docs/STATIC_ANALYSIS.md"
+
+
+def _rule_descriptors() -> list[dict]:
+    descriptors = []
+    for rule in ALL_RULES:
+        descriptors.append(
+            {
+                "id": rule.id,
+                "name": rule.name,
+                "shortDescription": {"text": rule.rationale},
+                "help": {"text": rule.hint},
+                "defaultConfiguration": {"level": "error"},
+            }
+        )
+    for meta in FLOW_RULES:
+        descriptors.append(
+            {
+                "id": meta.id,
+                "name": meta.name,
+                "shortDescription": {"text": meta.rationale},
+                "help": {"text": meta.hint},
+                "defaultConfiguration": {"level": "error"},
+            }
+        )
+    return descriptors
+
+
+def _result(finding: Finding, suppressed: bool) -> dict:
+    result = {
+        "ruleId": finding.rule,
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path},
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col + 1,
+                    },
+                }
+            }
+        ],
+        "partialFingerprints": {"reproLint/v1": finding.fingerprint},
+    }
+    if suppressed:
+        result["suppressions"] = [
+            {"kind": "external", "justification": "grandfathered in lint-baseline.txt"}
+        ]
+    return result
+
+
+def report_to_sarif(report: LintReport) -> dict:
+    """Build the SARIF log object for one lint run."""
+    results = [_result(finding, suppressed=False) for finding in report.new]
+    results.extend(_result(finding, suppressed=True) for finding in report.baselined)
+    invocation = {
+        "executionSuccessful": report.clean,
+        "toolExecutionNotifications": [
+            {
+                "level": "warning",
+                "message": {"text": f"stale baseline entry: {entry}"},
+            }
+            for entry in report.stale_baseline
+        ]
+        + [
+            {"level": "warning", "message": {"text": message}}
+            for message in report.unused_waivers
+        ],
+    }
+    return {
+        "version": SARIF_VERSION,
+        "$schema": SARIF_SCHEMA,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.lint",
+                        "informationUri": _INFO_URI,
+                        "rules": _rule_descriptors(),
+                    }
+                },
+                "invocations": [invocation],
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(report: LintReport) -> str:
+    return json.dumps(report_to_sarif(report), indent=2, sort_keys=True)

@@ -1,0 +1,14 @@
+# lint-fixture: core/flow_branch_bad.py
+"""RP202 positive: control flow decided by a secret scalar.
+
+The variable is deliberately *not* secret-named — the legacy RP102
+name heuristic stays quiet and only dataflow can see that ``k`` came
+from ``random_scalar``.
+"""
+
+
+def lookup(rng, table):
+    k = random_scalar(rng)
+    if k % 2:  # EXPECT[RP202]
+        return table[0]
+    return table[1]

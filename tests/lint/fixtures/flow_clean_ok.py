@@ -1,0 +1,32 @@
+# lint-fixture: core/flow_clean_ok.py
+"""Flow negatives: sanctioned idioms that must produce zero findings.
+
+* a sanitizer (KDF) clears taint, so the derived key may be rendered;
+* serializing *into* a sanitizer is the sanctioned bridge;
+* verification pairings are DERIVED, so equality branches on them are
+  below the RP202 threshold (they compare public statements);
+* group scalar multiplication declassifies (``aG`` is public).
+"""
+
+
+def session_key(rng, point):
+    k = random_scalar(rng)
+    raw = pair(point, point)
+    key = derive_key(raw.to_bytes(), 32, "fixture:session")
+    print("session key fingerprint:", key)
+    return key
+
+
+def verify(generator, sig, msg_point, pub):
+    left = pair(generator, sig)
+    right = pair(msg_point, pub)
+    if left != right:
+        raise ValueError("bad signature")
+    return True
+
+
+def announce(group, rng):
+    a = random_scalar(rng)
+    point = mul(group, a)
+    print("public point:", point)
+    return point

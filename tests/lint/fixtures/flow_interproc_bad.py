@@ -1,0 +1,22 @@
+# lint-fixture: core/flow_interproc_bad.py
+"""RP201 positive: the sink is two calls away from the secret.
+
+``render`` raises with the value interpolated; ``check`` forwards its
+parameter; ``issue`` supplies a freshly sampled secret scalar.  The
+finding lands on the call that supplies the secret, not on the sink —
+the sink is fine for public values.
+"""
+
+
+def render(value):
+    raise ValueError(f"bad value {value}")
+
+
+def check(value):
+    render(value)
+
+
+def issue(rng):
+    k = random_scalar(rng)
+    check(k)  # EXPECT[RP201]
+    check(len("public"))

@@ -1,0 +1,17 @@
+# lint-fixture: core/flow_serialize_bad.py
+"""RP203 positives: secret material serialized without a KDF."""
+
+
+def to_bytes(rng):
+    k = random_scalar(rng)
+    return k  # EXPECT[RP203]
+
+
+def gt_to_bytes(point):
+    raw = pair(point, point)
+    return raw  # EXPECT[RP203]
+
+
+def persist(sink_file, rng):
+    k = random_scalar(rng)
+    sink_file.write(k)  # EXPECT[RP203]

@@ -1,0 +1,14 @@
+# lint-fixture: core/flowpkg/app.py
+"""Module 3: the caller.  The secret born in ``provider`` crosses two
+module boundaries and three calls before reaching ``print`` — only the
+whole-program analysis connects the dots, and the finding lands here,
+on the call that supplies the secret."""
+
+from flowpkg.middle import audit
+from flowpkg.provider import fresh_scalar
+
+
+def main(rng):
+    k = fresh_scalar(rng)
+    audit(k)  # EXPECT[RP201]
+    audit("public banner")

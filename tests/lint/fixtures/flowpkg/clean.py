@@ -1,0 +1,12 @@
+# lint-fixture: core/flowpkg/clean.py
+"""Module 4: the sanitizer path.  Same source, same relay — but the
+scalar passes the KDF first, so nothing fires."""
+
+from flowpkg.middle import audit
+from flowpkg.provider import fresh_scalar
+
+
+def main(rng):
+    k = fresh_scalar(rng)
+    token = derive_key(k.to_bytes(), 32, "fixture:flowpkg")
+    audit(token)

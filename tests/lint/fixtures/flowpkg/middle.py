@@ -1,0 +1,11 @@
+# lint-fixture: core/flowpkg/middle.py
+"""Module 2: the relay.  Neither function is leaky for public values —
+the sink entry only matters when a caller supplies a secret."""
+
+
+def note(value):
+    print(f"value={value}")
+
+
+def audit(value):
+    note(value)

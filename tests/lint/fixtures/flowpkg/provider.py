@@ -1,0 +1,6 @@
+# lint-fixture: core/flowpkg/provider.py
+"""Module 1: the source.  Returns a freshly sampled secret scalar."""
+
+
+def fresh_scalar(rng):
+    return random_scalar(rng)

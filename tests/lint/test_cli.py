@@ -85,3 +85,75 @@ def test_stale_baseline_entry_fails(tmp_path, capsys) -> None:
     baseline.write_text("RP102 crypto/gone.py abcdefabcdef 0\n")
     assert main([target, "--baseline", str(baseline)]) == 1
     assert "stale baseline entry" in capsys.readouterr().out
+
+
+def test_sarif_format_is_valid_2_1_0(tmp_path, capsys) -> None:
+    target = _module(tmp_path, "bad.py", DIRTY)
+    status = main([target, "--no-baseline", "--format", "sarif"])
+    assert status == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == "2.1.0"
+    (sarif_run,) = payload["runs"]
+    assert sarif_run["tool"]["driver"]["name"] == "repro.lint"
+    rule_ids = {rule["id"] for rule in sarif_run["tool"]["driver"]["rules"]}
+    assert {"RP102", "RP201", "RP204"} <= rule_ids
+    (result,) = sarif_run["results"]
+    assert result["ruleId"] == "RP102"
+    assert result["partialFingerprints"]["reproLint/v1"]
+
+
+def test_output_flag_writes_file_and_keeps_text_on_stdout(tmp_path, capsys) -> None:
+    target = _module(tmp_path, "bad.py", DIRTY)
+    out_file = tmp_path / "report.sarif"
+    status = main(
+        [target, "--no-baseline", "--format", "sarif", "--output", str(out_file)]
+    )
+    assert status == 1
+    payload = json.loads(out_file.read_text())
+    assert payload["version"] == "2.1.0"
+    assert "FAILED" in capsys.readouterr().out  # human trace stays on stdout
+
+
+def test_unused_waiver_is_a_note_without_check_baseline(tmp_path, capsys) -> None:
+    source = CLEAN + "    # lint: allow[RP102] nothing to suppress here\n"
+    target = _module(tmp_path, "ok.py", source)
+    assert main([target, "--no-baseline"]) == 0
+    assert "unused waiver" in capsys.readouterr().out
+
+
+def test_unused_waiver_fails_under_check_baseline(tmp_path, capsys) -> None:
+    source = CLEAN + "    # lint: allow[RP102] nothing to suppress here\n"
+    target = _module(tmp_path, "ok.py", source)
+    assert main([target, "--no-baseline", "--check-baseline"]) == 1
+    out = capsys.readouterr().out
+    assert "UNUSED WAIVER" in out
+    assert "FAILED" in out
+
+
+def test_self_time_budget_violation_fails(tmp_path, capsys) -> None:
+    target = _module(tmp_path, "ok.py", CLEAN)
+    assert main([target, "--no-baseline", "--self-time-budget", "0"]) == 1
+    assert "self-time budget exceeded" in capsys.readouterr().out
+
+
+def test_flow_finding_reported_end_to_end(tmp_path, capsys) -> None:
+    source = (
+        "def reveal(value):\n"
+        "    raise ValueError(f'got {value}')\n"
+        "\n"
+        "def use(rng):\n"
+        "    k = random_scalar(rng)\n"
+        "    reveal(k)\n"
+    )
+    target = _module(tmp_path, "leaky.py", source)
+    assert main([target, "--no-baseline"]) == 1
+    out = capsys.readouterr().out
+    assert "RP201" in out
+    assert "reveal" in out
+
+
+def test_list_rules_includes_flow_family(capsys) -> None:
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("RP201", "RP202", "RP203", "RP204"):
+        assert rule_id in out

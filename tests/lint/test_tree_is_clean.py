@@ -1,9 +1,10 @@
 """The gate: the shipped tree must lint clean against its baseline.
 
 This is the test that makes the linter *binding* — a new unsuppressed
-finding anywhere under ``src/`` fails the suite, and so does a stale
-baseline entry (a grandfathered finding that was fixed but whose entry
-was left behind).
+finding anywhere under ``src/``, ``examples/`` or ``benchmarks/``
+fails the suite, and so does a stale baseline entry (a grandfathered
+finding that was fixed but whose entry was left behind) or an unused
+waiver comment (a suppression that outlived its finding).
 """
 
 from __future__ import annotations
@@ -14,14 +15,38 @@ from repro.lint import load_baseline
 from repro.lint.engine import run
 
 ROOT = Path(__file__).resolve().parents[2]
+GATED_TREES = ("src", "examples", "benchmarks")
+
+# The analyzer runs whole-program over the full tree inside the test
+# suite, so its own runtime is part of the tier-1 budget.  Generous
+# multiple of the observed ~2-3s to stay robust on slow CI machines.
+SELF_TIME_BUDGET_SECONDS = 60.0
+
+
+def _report():
+    return run(
+        [ROOT / tree for tree in GATED_TREES],
+        load_baseline(ROOT / "lint-baseline.txt"),
+    )
 
 
 def test_tree_is_clean() -> None:
-    report = run([ROOT / "src"], load_baseline(ROOT / "lint-baseline.txt"))
+    report = _report()
     assert report.files_checked > 0
     rendered = "\n".join(finding.render() for finding in report.new)
     assert report.new == [], f"new lint findings:\n{rendered}"
     assert report.stale_baseline == [], (
         "stale baseline entries (finding fixed — regenerate the baseline "
         f"with --write-baseline): {report.stale_baseline}"
+    )
+    assert report.unused_waivers == [], (
+        f"waivers that suppress nothing: {report.unused_waivers}"
+    )
+
+
+def test_analyzer_stays_within_time_budget() -> None:
+    report = _report()
+    assert report.elapsed < SELF_TIME_BUDGET_SECONDS, (
+        f"whole-tree analysis took {report.elapsed:.1f}s — the analyzer "
+        "has regressed; profile before raising the budget"
     )
