@@ -66,6 +66,52 @@ def test_e4_gt_exponentiation(benchmark, name):
     benchmark.pedantic(lambda: element ** scalar, rounds=5, iterations=1)
 
 
+def test_e4_multi_pair_op_counts(benchmark):
+    """The multi-pairing saving in *counted* operations: a two-pairing
+    verify equation costs two Miller loops + two final exponentiations
+    sequentially, but the fused ratio check shares ONE final
+    exponentiation across the same two Miller loops (2 -> 1)."""
+    group = _group("toy64")  # operation counts are size-independent
+    rng = seeded_rng("e4-multi")
+    from repro.core.keys import ServerKeyPair
+
+    keypair = ServerKeyPair.generate(group, rng)
+    public = keypair.public
+    h_point = group.hash_to_g1(b"e4-epoch")
+    signed = group.mul(h_point, keypair.private)
+
+    with group.counters.measure() as seq_ops:
+        left = group.pair(public.s_generator, h_point)
+        right = group.pair(public.generator, signed)
+        assert left == right
+    with group.counters.measure() as fused_ops:
+        assert group.pair_ratio_is_one(
+            ((public.s_generator, h_point),),
+            ((public.generator, signed),),
+        )
+
+    rows = []
+    for label, ops in (("sequential", seq_ops), ("multi-pair", fused_ops)):
+        rows.append((
+            label,
+            ops.get("pairing", 0),
+            ops.get("miller_loop", 0),
+            ops.get("final_exp", 0),
+            ops.get("multi_pair", 0),
+        ))
+    assert seq_ops.get("final_exp") == 2
+    assert fused_ops.get("final_exp") == 1
+    assert fused_ops.get("miller_loop") == 2
+    emit(format_table(
+        ("verify path", "pairings", "Miller loops", "final exps",
+         "multi-pair calls"),
+        rows,
+        title="E4b: two-pairing verify equation — the multi-pairing "
+              "kernel shares the final exponentiation (2 -> 1)",
+    ))
+    benchmark(lambda: None)
+
+
 def test_e4_claim_table(benchmark):
     rows = []
     for name in PARAM_NAMES:

@@ -1,12 +1,17 @@
-"""Smoke benchmark for the precomputation layer.
+"""Smoke benchmark for the precomputation and batching layers.
 
-Runs the three direct-versus-precomputed comparisons the trajectory
-tracks and merges the results into ``BENCH_pairing.json``:
+Runs the direct-versus-fast-path comparisons the trajectory tracks and
+merges the results into ``BENCH_pairing.json``:
 
 * fixed-base table vs. generic ``scalar_mult``;
 * cached Miller lines vs. the full pairing;
 * ``decrypt_batch`` over N same-label ciphertexts vs. N independent
-  ``decrypt`` calls.
+  ``decrypt`` calls;
+* the multi-pairing verify path (one combined Miller loop, ONE final
+  exponentiation) vs. two sequential pairings;
+* process-parallel ``decrypt_batch`` sharding vs. the sequential path
+  (recorded with the machine's CPU count — on a single-core box the
+  "speedup" honestly reports ~1x).
 
 Usage::
 
@@ -15,7 +20,8 @@ Usage::
 
 Direct paths are timed through the cache-free primitives (``curve
 .scalar_mult`` / ``tate.pair``) so prior precomputation cannot leak into
-the baseline.
+the baseline.  ``benchmarks.trajectory --check`` reuses :func:`run_all`
+to re-measure these entries and diff them against the committed file.
 """
 
 from __future__ import annotations
@@ -24,7 +30,7 @@ import argparse
 import sys
 
 from benchmarks.trajectory import BenchTrajectory, time_median
-from repro.core.keys import UserKeyPair
+from repro.core.keys import ServerKeyPair, UserKeyPair
 from repro.core.timeserver import PassiveTimeServer
 from repro.core.tre import TimedReleaseScheme
 from repro.crypto.rng import seeded_rng
@@ -116,6 +122,112 @@ def bench_batch_decrypt(group, rng, trajectory, rounds, batch):
     return d / f
 
 
+def bench_multi_pair(group, rng, trajectory, rounds):
+    """Verify path: ê(sG, H1(T)) == ê(G, I_T) as two pairings vs one
+    multi-pairing ratio check (shared final exponentiation).
+
+    Both variants evaluate the cached Miller lines of the fixed
+    ``(G, sG)`` — exactly the archive catch-up configuration — so the
+    difference isolates the saved final exponentiation plus the saved
+    GT comparison.
+    """
+    from repro.core.bls import BLSSignatureScheme
+
+    keypair = ServerKeyPair.generate(group, rng)
+    public = keypair.public
+    bls = BLSSignatureScheme(group)
+    messages = [f"mp-{i}".encode() for i in range(4)]
+    signatures = [bls.sign(keypair, m) for m in messages]
+    hashes = [bls.hash_message(m) for m in messages]
+    bls.precompute_public(public)
+
+    def sequential():
+        for h_point, signature in zip(hashes, signatures):
+            left = group.pair(public.s_generator, h_point)
+            right = group.pair(public.generator, signature)
+            assert left == right
+
+    def fused():
+        for h_point, signature in zip(hashes, signatures):
+            assert group.pair_ratio_is_one(
+                ((public.s_generator, h_point),),
+                ((public.generator, signature),),
+            )
+
+    per = len(messages)
+    d = trajectory.measure(
+        group, "multi_pair", "direct", sequential, rounds, batch=per
+    )
+    f = trajectory.measure(
+        group, "multi_pair", "ratio_check", fused, rounds, batch=per
+    )
+    group.clear_precomputations()
+    return d / f
+
+
+def bench_parallel_decrypt(group, rng, trajectory, rounds, batch, workers=None):
+    """``decrypt_batch`` sequential vs sharded across worker processes.
+
+    Honest numbers: the entry records the CPU count the run actually
+    had (``cpus``); with one core the sharded path cannot win and the
+    recorded ratio documents the process overhead instead.
+    """
+    from repro.parallel import available_workers
+
+    cpus = available_workers()
+    if workers is None:
+        workers = max(2, cpus)
+    scheme = TimedReleaseScheme(group)
+    server = PassiveTimeServer(group, rng=rng)
+    user = UserKeyPair.generate(group, server.public_key, rng)
+    update = server.publish_update(RELEASE)
+    cts = [
+        scheme.encrypt(
+            f"payload {i}".encode() * 4, user.public, server.public_key,
+            RELEASE, rng, verify_receiver_key=False,
+        )
+        for i in range(batch)
+    ]
+
+    def sequential():
+        return scheme.decrypt_batch(cts, user, update)
+
+    def sharded():
+        return scheme.decrypt_batch(cts, user, update, workers=workers)
+
+    assert sequential() == sharded()
+    op = f"parallel_decrypt_x{batch}"
+    d = trajectory.measure(
+        group, op, "direct", sequential, rounds, batch=batch, cpus=cpus
+    )
+    f = trajectory.measure(
+        group, op, f"workers{workers}", sharded, rounds,
+        batch=batch, cpus=cpus, workers=workers,
+    )
+    group.clear_precomputations()
+    return d / f
+
+
+def run_all(group, rng, trajectory, rounds, batch, workers=None):
+    """Every smoke comparison; returns ``{label: speedup_ratio}``.
+
+    Shared by the CLI below and ``benchmarks.trajectory --check``.
+    """
+    return {
+        "fixed-base scalar mult": bench_scalar_mult(
+            group, rng, trajectory, rounds
+        ),
+        "precomputed pairing": bench_pairing(group, rng, trajectory, rounds),
+        f"batch decrypt x{batch}": bench_batch_decrypt(
+            group, rng, trajectory, rounds, batch
+        ),
+        "multi-pair verify": bench_multi_pair(group, rng, trajectory, rounds),
+        f"parallel decrypt x{batch}": bench_parallel_decrypt(
+            group, rng, trajectory, rounds, batch, workers
+        ),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--params", default="toy64",
@@ -124,6 +236,9 @@ def main(argv=None) -> int:
                         help="ciphertexts in the batch-decrypt comparison")
     parser.add_argument("--rounds", type=int, default=5,
                         help="timing rounds per measurement (median kept)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes for the parallel-decrypt "
+                             "comparison (default: max(2, cpu count))")
     parser.add_argument("--output", default=None,
                         help="trajectory file (default: repo-root "
                              "BENCH_pairing.json)")
@@ -135,17 +250,9 @@ def main(argv=None) -> int:
 
     print(f"precomputation smoke benchmark on {args.params} "
           f"(q={group.q.bit_length()} bits, rounds={args.rounds})")
-    ratios = {
-        "fixed-base scalar mult": bench_scalar_mult(
-            group, rng, trajectory, args.rounds
-        ),
-        "precomputed pairing": bench_pairing(
-            group, rng, trajectory, args.rounds
-        ),
-        f"batch decrypt x{args.batch}": bench_batch_decrypt(
-            group, rng, trajectory, args.rounds, args.batch
-        ),
-    }
+    ratios = run_all(
+        group, rng, trajectory, args.rounds, args.batch, args.workers
+    )
     path = trajectory.write()
 
     for line in trajectory.summary_lines():

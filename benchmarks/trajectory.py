@@ -11,13 +11,25 @@ operation counts from :mod:`repro.pairing.opcount` for one execution,
 and free-form extras.  For every ``op:params`` pair that has both a
 ``direct`` and a non-direct variant, ``write`` derives a
 ``speedup`` ratio (direct median / fast-path median).
+
+Run as a module for the regression gate::
+
+    PYTHONPATH=src python -m benchmarks.trajectory --check
+
+re-measures the smoke entries fresh (without touching the committed
+file), prints a committed-vs-fresh comparison table, and exits nonzero
+if any entry slowed down by more than ``--tolerance`` (default ±30% —
+wall-clock medians on shared machines are noisy; the gate is meant to
+catch step-function regressions, not jitter).
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import pathlib
 import statistics
+import sys
 import time
 
 SCHEMA = "repro-bench-trajectory/v1"
@@ -130,3 +142,151 @@ class BenchTrajectory:
         for key, ratio in self._derive_speedups(self.entries).items():
             lines.append(f"speedup {key}: {ratio:.2f}x vs direct")
         return lines
+
+
+# ----------------------------------------------------------------------
+# Regression check: fresh re-measurement vs the committed trajectory.
+# ----------------------------------------------------------------------
+
+
+def load_committed(path: pathlib.Path | str | None = None) -> dict[str, dict]:
+    """The committed trajectory's entries (empty dict if unreadable)."""
+    path = pathlib.Path(path) if path else DEFAULT_PATH
+    try:
+        return json.loads(path.read_text()).get("entries", {})
+    except (OSError, json.JSONDecodeError):
+        return {}
+
+
+def compare_entries(
+    committed: dict[str, dict],
+    fresh: dict[str, dict],
+    tolerance: float,
+) -> tuple[list[tuple], list[str]]:
+    """Diff fresh medians against committed ones.
+
+    Returns ``(rows, regressions)`` where each row is
+    ``(key, committed_ms, fresh_ms, ratio, status)`` and ``regressions``
+    lists the keys whose fresh median exceeds the committed one by more
+    than ``tolerance`` (a fraction, e.g. ``0.3`` for ±30%).
+    """
+    rows: list[tuple] = []
+    regressions: list[str] = []
+    for key, entry in sorted(fresh.items()):
+        fresh_ms = entry["median_ms"]
+        base = committed.get(key)
+        if base is None:
+            rows.append((key, None, fresh_ms, None, "new"))
+            continue
+        base_ms = base["median_ms"]
+        if not base_ms:
+            rows.append((key, base_ms, fresh_ms, None, "no-baseline"))
+            continue
+        ratio = fresh_ms / base_ms
+        if ratio > 1.0 + tolerance:
+            status = "REGRESSION"
+            regressions.append(key)
+        elif ratio < 1.0 - tolerance:
+            status = "improved"
+        else:
+            status = "ok"
+        rows.append((key, base_ms, fresh_ms, ratio, status))
+    return rows, regressions
+
+
+def render_comparison(rows: list[tuple], tolerance: float) -> str:
+    header = ("entry", "committed ms", "fresh ms", "ratio", "status")
+    cells = [header]
+    for key, base_ms, fresh_ms, ratio, status in rows:
+        cells.append((
+            key,
+            f"{base_ms:.3f}" if base_ms is not None else "-",
+            f"{fresh_ms:.3f}",
+            f"{ratio:.2f}x" if ratio is not None else "-",
+            status,
+        ))
+    widths = [max(len(row[i]) for row in cells) for i in range(len(header))]
+    lines = [
+        f"committed vs fresh medians (tolerance ±{tolerance * 100:.0f}%)"
+    ]
+    for index, row in enumerate(cells):
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip())
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def run_check(
+    params: str = "toy64",
+    tolerance: float = 0.3,
+    rounds: int = 3,
+    batch: int = 32,
+    workers: int | None = None,
+    path: pathlib.Path | str | None = None,
+) -> int:
+    """Re-measure the smoke entries and diff against the committed file.
+
+    Never writes the trajectory; returns a process exit code (0 = no
+    regression beyond tolerance, 1 = at least one).
+    """
+    from benchmarks import smoke
+    from repro.crypto.rng import seeded_rng
+    from repro.pairing.api import PairingGroup
+
+    committed = load_committed(path)
+    group = PairingGroup(params, family="A")
+    rng = seeded_rng(f"smoke:{params}")
+    fresh = BenchTrajectory(path)
+    smoke.run_all(group, rng, fresh, rounds, batch, workers)
+    rows, regressions = compare_entries(committed, fresh.entries, tolerance)
+    print(render_comparison(rows, tolerance))
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond ±{tolerance * 100:.0f}%:")
+        for key in regressions:
+            print(f"  {key}")
+        return 1
+    print("\nno regressions beyond tolerance")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--check", action="store_true",
+                        help="re-measure the smoke entries and fail on "
+                             "regressions vs the committed trajectory")
+    parser.add_argument("--params", default="toy64",
+                        help="parameter set for --check (default toy64)")
+    parser.add_argument("--tolerance", type=float, default=0.3,
+                        help="allowed slowdown fraction (default 0.3 = ±30%%)")
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="timing rounds per fresh measurement")
+    parser.add_argument("--batch", type=int, default=32,
+                        help="batch size for the batch/parallel entries")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker count for the parallel entry")
+    parser.add_argument("--path", default=None,
+                        help="trajectory file (default: repo root "
+                             "BENCH_pairing.json)")
+    args = parser.parse_args(argv)
+
+    if args.check:
+        return run_check(
+            params=args.params,
+            tolerance=args.tolerance,
+            rounds=args.rounds,
+            batch=args.batch,
+            workers=args.workers,
+            path=args.path,
+        )
+    # Without --check: print the committed trajectory.
+    committed = load_committed(args.path)
+    if not committed:
+        print("no committed trajectory found")
+        return 0
+    for key, entry in sorted(committed.items()):
+        print(f"{key}: {entry['median_ms']:.3f} ms")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

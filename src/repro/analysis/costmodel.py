@@ -34,6 +34,14 @@ class OpBudget:
     point_adds: int = 0
     fixed_base_mults: int = 0
     precomputed_pairings: int = 0
+    # Pairing substructure (mirrors MILLER_LOOP / FINAL_EXP /
+    # MULTI_PAIRING in repro.pairing.opcount): ``miller_loops`` is one
+    # per live pairing, while a k-fold multi-pairing shares ONE final
+    # exponentiation across its k pairings, so ``final_exps`` can be
+    # smaller than ``pairings``.
+    miller_loops: int = 0
+    final_exps: int = 0
+    multi_pairs: int = 0
 
     def as_dict(self) -> dict[str, int]:
         mapping = {
@@ -44,6 +52,9 @@ class OpBudget:
             "point_add": self.point_adds,
             "fixed_base_mult": self.fixed_base_mults,
             "pairing_precomp": self.precomputed_pairings,
+            "miller_loop": self.miller_loops,
+            "final_exp": self.final_exps,
+            "multi_pair": self.multi_pairs,
         }
         return {name: count for name, count in mapping.items() if count}
 
@@ -52,16 +63,26 @@ class OpBudget:
         pairing_weight: float = 10.0,
         precomp_pairing_weight: float = 4.0,
         fixed_base_weight: float = 0.4,
+        final_exp_weight: float = 2.0,
     ) -> float:
         """A single comparable number: scalar-mult-equivalents.
 
         Precomputed pairings keep the final exponentiation but drop the
         Miller-loop curve arithmetic; table-driven multiplications drop
-        all doublings.  The discounted weights reflect the measured
-        ratios in ``BENCH_pairing.json``.
+        all doublings.  A multi-pairing budget (``multi_pairs > 0``)
+        gets credited the final exponentiations it shares away:
+        ``pairings - final_exps`` of them, each worth
+        ``final_exp_weight``.  The discounted weights reflect the
+        measured ratios in ``BENCH_pairing.json``.
         """
         direct_pairings = self.pairings - self.precomputed_pairings
         direct_mults = self.scalar_mults - self.fixed_base_mults
+        # Budgets written before the multi-pairing kernel leave
+        # final_exps at 0 ("not modeled") — only credit the saving when
+        # the budget explicitly declares multi-pairing structure.
+        saved_final_exps = (
+            self.pairings - self.final_exps if self.multi_pairs else 0
+        )
         return (
             direct_pairings * pairing_weight
             + self.precomputed_pairings * precomp_pairing_weight
@@ -70,6 +91,7 @@ class OpBudget:
             + self.hash_to_group
             + self.gt_exps
             + 0.01 * self.point_adds
+            - saved_final_exps * final_exp_weight
         )
 
 
@@ -86,8 +108,11 @@ class SchemeCost:
 # Decrypt = one pairing then ^a.
 TRE_COST = SchemeCost(
     name="TRE",
-    encrypt=OpBudget(pairings=1, scalar_mults=2, hash_to_group=1),
-    decrypt=OpBudget(pairings=1, gt_exps=1),
+    encrypt=OpBudget(
+        pairings=1, scalar_mults=2, hash_to_group=1,
+        miller_loops=1, final_exps=1,
+    ),
+    decrypt=OpBudget(pairings=1, gt_exps=1, miller_loops=1, final_exps=1),
     notes="receiver-key check: +2 pairings (amortizable)",
 )
 
@@ -95,9 +120,10 @@ TRE_COST = SchemeCost(
 IDTRE_COST = SchemeCost(
     name="ID-TRE",
     encrypt=OpBudget(
-        pairings=1, scalar_mults=1, hash_to_group=2, gt_exps=1, point_adds=1
+        pairings=1, scalar_mults=1, hash_to_group=2, gt_exps=1, point_adds=1,
+        miller_loops=1, final_exps=1,
     ),
-    decrypt=OpBudget(pairings=1, point_adds=1),
+    decrypt=OpBudget(pairings=1, point_adds=1, miller_loops=1, final_exps=1),
     notes="escrow inherent; no receiver certificate",
 )
 
@@ -105,14 +131,18 @@ IDTRE_COST = SchemeCost(
 # 1 H1 + 1 GT exp).
 HYBRID_COST = SchemeCost(
     name="hybrid PKE+IBE",
-    encrypt=OpBudget(pairings=1, scalar_mults=3, hash_to_group=1, gt_exps=1),
-    decrypt=OpBudget(pairings=1, scalar_mults=1),
+    encrypt=OpBudget(
+        pairings=1, scalar_mults=3, hash_to_group=1, gt_exps=1,
+        miller_loops=1, final_exps=1,
+    ),
+    decrypt=OpBudget(pairings=1, scalar_mults=1, miller_loops=1, final_exps=1),
     notes="2 group elements per ciphertext (TRE: 1)",
 )
 
 
 def multiserver_cost(servers: int) -> SchemeCost:
-    """§5.3.5: one r·G_i per server; one pairing per server to decrypt."""
+    """§5.3.5: one r·G_i per server; decryption is ONE N-fold
+    multi-pairing (N Miller loops, one shared final exponentiation)."""
     return SchemeCost(
         name=f"multi-server (N={servers})",
         encrypt=OpBudget(
@@ -120,8 +150,13 @@ def multiserver_cost(servers: int) -> SchemeCost:
             scalar_mults=servers + 1,
             hash_to_group=1,
             point_adds=servers - 1,
+            miller_loops=1,
+            final_exps=1,
         ),
-        decrypt=OpBudget(pairings=servers, gt_exps=1),
+        decrypt=OpBudget(
+            pairings=servers, gt_exps=1,
+            miller_loops=servers, final_exps=1, multi_pairs=1,
+        ),
     )
 
 
@@ -131,17 +166,27 @@ def resilient_cost(depth: int) -> SchemeCost:
         name=f"resilient (d={depth})",
         encrypt=OpBudget(
             # U_0 = r·G plus U_i = r·P_i for levels 2..d.
-            pairings=1, scalar_mults=depth, hash_to_group=depth, gt_exps=1
+            pairings=1, scalar_mults=depth, hash_to_group=depth, gt_exps=1,
+            miller_loops=1, final_exps=1,
         ),
-        decrypt=OpBudget(pairings=depth, gt_exps=1),
+        decrypt=OpBudget(
+            pairings=depth, gt_exps=1,
+            miller_loops=depth, final_exps=1, multi_pairs=1,
+        ),
         notes="decrypt pairings = 1 + (d-1) translation ratios",
     )
 
 
 ALL_FIXED_COSTS = (TRE_COST, IDTRE_COST, HYBRID_COST)
 
-UPDATE_VERIFY_COST = OpBudget(pairings=2, hash_to_group=1)
-RECEIVER_KEY_CHECK_COST = OpBudget(pairings=2)
+# Every pairing-product *verification* is one multi-pairing ratio check:
+# two (or more) Miller loops, a single shared final exponentiation.
+UPDATE_VERIFY_COST = OpBudget(
+    pairings=2, hash_to_group=1, miller_loops=2, final_exps=1, multi_pairs=1
+)
+RECEIVER_KEY_CHECK_COST = OpBudget(
+    pairings=2, miller_loops=2, final_exps=1, multi_pairs=1
+)
 
 # ----------------------------------------------------------------------
 # Precomputed variants (same primary op counts — the fast paths change
@@ -152,23 +197,85 @@ RECEIVER_KEY_CHECK_COST = OpBudget(pairings=2)
 # §5.1 Encrypt after TimedReleaseScheme.precompute_sender: both scalar
 # multiplications (rG, r·asG) come from fixed-base tables.
 TRE_PRECOMP_ENCRYPT_COST = OpBudget(
-    pairings=1, scalar_mults=2, hash_to_group=1, fixed_base_mults=2
+    pairings=1, scalar_mults=2, hash_to_group=1, fixed_base_mults=2,
+    miller_loops=1, final_exps=1,
 )
 
 # Update self-authentication against a precomputed (G, sG): both
-# pairings evaluate cached Miller lines.
+# pairings evaluate cached Miller lines inside one multi-pairing.
 PRECOMP_UPDATE_VERIFY_COST = OpBudget(
-    pairings=2, hash_to_group=1, precomputed_pairings=2
+    pairings=2, hash_to_group=1, precomputed_pairings=2,
+    miller_loops=2, final_exps=1, multi_pairs=1,
 )
-
 
 def tre_batch_decrypt_cost(n: int) -> OpBudget:
     """Decrypting ``n`` ciphertexts sharing one ``I_T`` via cached lines.
 
     One pairing and one GT exponentiation per ciphertext, with every
-    pairing a line evaluation against the shared update.
+    pairing a line evaluation against the shared update.  The pairings
+    stay independent (each ciphertext needs its own GT value), so no
+    final exponentiations are shared here — parallelism, not
+    multi-pairing, is this path's lever (see :func:`parallel_speedup`).
     """
-    return OpBudget(pairings=n, gt_exps=n, precomputed_pairings=n)
+    return OpBudget(
+        pairings=n, gt_exps=n, precomputed_pairings=n,
+        miller_loops=n, final_exps=n,
+    )
+
+
+# ----------------------------------------------------------------------
+# Multi-pairing and process-parallel speedup formulas.
+# ----------------------------------------------------------------------
+
+
+def multi_pairing_saving(k: int, final_exp_weight: float = 2.0) -> float:
+    """Scalar-mult equivalents saved by fusing ``k`` pairings into one
+    multi-pairing: ``k - 1`` final exponentiations disappear."""
+    if k < 1:
+        raise ValueError("a multi-pairing needs at least one pair")
+    return (k - 1) * final_exp_weight
+
+
+def multi_pairing_speedup(
+    k: int,
+    pairing_weight: float = 10.0,
+    final_exp_weight: float = 2.0,
+) -> float:
+    """Predicted ratio (k independent pairings) / (one k-fold multi-pairing).
+
+    With a pairing worth ``pairing_weight`` equivalents of which
+    ``final_exp_weight`` is the final exponentiation, fusing shares all
+    but one of the ``k`` final exponentiations.
+    """
+    sequential = k * pairing_weight
+    fused = sequential - multi_pairing_saving(k, final_exp_weight)
+    return sequential / fused
+
+
+def parallel_speedup(
+    workers: int,
+    items: int,
+    serial_fraction: float = 0.02,
+    per_item_overhead: float = 0.0,
+) -> float:
+    """Amdahl-style model for :mod:`repro.parallel` batch sharding.
+
+    ``serial_fraction`` covers the parent-side work that cannot shard
+    (label checks, one update verification, result assembly);
+    ``per_item_overhead`` the serialize/deserialize cost per payload as
+    a fraction of per-item compute.  With fewer items than workers the
+    extra workers idle.
+    """
+    if workers <= 1 or items <= 1:
+        return 1.0
+    effective = min(workers, items)
+    parallel_fraction = 1.0 - serial_fraction
+    denominator = (
+        serial_fraction
+        + parallel_fraction / effective
+        + per_item_overhead
+    )
+    return 1.0 / denominator
 
 
 def cost_table() -> str:

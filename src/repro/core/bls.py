@@ -11,7 +11,9 @@ module implements the signature scheme standalone so that:
   strawman "update + detached signature" design.
 
 Signing is one hash-to-group plus one scalar multiplication; verifying
-is two pairings: ``ê(sG, H1(m)) == ê(G, σ)``.
+is the pairing-ratio check ``ê(sG, H1(m)) == ê(G, σ)``, evaluated as a
+single multi-pairing (two Miller loops, ONE final exponentiation) via
+:meth:`repro.pairing.api.PairingGroup.pair_ratio_is_one`.
 """
 
 from __future__ import annotations
@@ -58,12 +60,17 @@ class BLSSignatureScheme:
 
         Also rejects signatures outside the prime-order subgroup, which
         guards against small-subgroup confusion on deserialized points.
+        The two pairings run as one multi-pairing ratio check: a single
+        combined Miller loop (reusing cached lines for ``sG``/``G`` when
+        :meth:`precompute_public` has run) and ONE final exponentiation
+        instead of two.
         """
         if signature.is_infinity or not self.group.in_group(signature):
             return False
-        left = self.group.pair(public.s_generator, self.hash_message(message))
-        right = self.group.pair(public.generator, signature)
-        return left == right
+        return self.group.pair_ratio_is_one(
+            ((public.s_generator, self.hash_message(message)),),
+            ((public.generator, signature),),
+        )
 
     def batch_verify(
         self,
@@ -97,9 +104,10 @@ class BLSSignatureScheme:
                 hash_side, self.group.mul(self.hash_message(message), r)
             )
             sig_side = self.group.add(sig_side, self.group.mul(signature, r))
-        left = self.group.pair(hash_side, public.s_generator)
-        right = self.group.pair(public.generator, sig_side)
-        return left == right
+        return self.group.pair_ratio_is_one(
+            ((hash_side, public.s_generator),),
+            ((public.generator, sig_side),),
+        )
 
     def aggregate(self, signatures: list[CurvePoint]) -> CurvePoint:
         """Sum distinct-message signatures into one point (BLS aggregation).
@@ -119,18 +127,25 @@ class BLSSignatureScheme:
         messages: list[bytes],
         aggregate: CurvePoint,
     ) -> bool:
-        """Check ``Π ê(s_iG_i, H1(m_i)) == ê(G, Σσ_i)`` for a shared G."""
+        """Check ``Π ê(s_iG_i, H1(m_i)) == ê(G, Σσ_i)`` for a shared G.
+
+        The whole product equation is ONE multi-pairing: ``n + 1``
+        Miller loops in lockstep and a single final exponentiation.
+        The point at infinity is rejected as an aggregate — like a
+        single infinity signature in :meth:`verify`, it would otherwise
+        pass whenever the hash-side product collapses to the identity.
+        """
         if len(publics) != len(messages) or not publics:
             return False
         generator = publics[0].generator
         if any(pk.generator != generator for pk in publics):
             return False
-        if not self.group.in_group(aggregate):
+        if aggregate.is_infinity or not self.group.in_group(aggregate):
             return False
-        left = self.group.gt_identity()
-        for public, message in zip(publics, messages):
-            left = left * self.group.pair(
-                public.s_generator, self.hash_message(message)
-            )
-        right = self.group.pair(generator, aggregate)
-        return left == right
+        return self.group.pair_ratio_is_one(
+            [
+                (public.s_generator, self.hash_message(message))
+                for public, message in zip(publics, messages)
+            ],
+            ((generator, aggregate),),
+        )

@@ -105,14 +105,16 @@ def verify_rekeyed_public_key(
             raise KeyValidationError("aG changed despite unchanged generator")
     else:
         # Same-`a` linkage across generators: ê(aG', G) == ê(G', aG).
-        left = group.pair(new_public.a_generator, old_generator)
-        right = group.pair(new_generator, certified_a_g)
-        if left != right:
+        if not group.pair_ratio_is_one(
+            ((new_public.a_generator, old_generator),),
+            ((new_generator, certified_a_g),),
+        ):
             raise KeyValidationError(
                 "new key does not use the certified secret a"
             )
     # The §5.3.4 check proper: ê(G', a·s'G') == ê(s'G', aG').
-    left = group.pair(new_generator, new_public.as_generator)
-    right = group.pair(new_server_public.s_generator, new_public.a_generator)
-    if left != right:
+    if not group.pair_ratio_is_one(
+        ((new_generator, new_public.as_generator),),
+        ((new_server_public.s_generator, new_public.a_generator),),
+    ):
         raise KeyValidationError("as'G' component fails the pairing check")

@@ -100,10 +100,14 @@ class UserPublicKey:
 
         True exactly when the second component really is ``a × sG``, so
         the receiver genuinely needs the server's update to decrypt.
+        Checked as one multi-pairing ratio (a single combined Miller
+        loop and final exponentiation); keys containing the point at
+        infinity (``a == 0`` degenerate keys) are rejected outright.
         """
-        left = group.pair(self.a_generator, server_public.s_generator)
-        right = group.pair(server_public.generator, self.as_generator)
-        return left == right
+        return group.pair_ratio_is_one(
+            ((self.a_generator, server_public.s_generator),),
+            ((server_public.generator, self.as_generator),),
+        )
 
     def ensure_well_formed(
         self, group: PairingGroup, server_public: ServerPublicKey

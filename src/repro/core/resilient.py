@@ -230,17 +230,24 @@ class ResilientTimeServer:
 
     def verify_node_key(self, key: NodeKey) -> bool:
         """Self-authentication, generalized: check
-        ``ê(G, S) == ê(sG, P_1) · Π ê(Q_i, P_i)``."""
+        ``ê(G, S) == ê(sG, P_1) · Π ê(Q_i, P_i)``.
+
+        The whole product equation is one multi-pairing ratio check —
+        ``k + 2`` Miller loops in lockstep, a single final
+        exponentiation — instead of ``k + 2`` standalone pairings.
+        """
         if not self.group.in_group(key.s_point):
             return False
         points = self.tree.path_points(key.path)
         if len(points) != len(key.q_points) + 1:
             return False
-        left = self.group.pair(self.public_key.generator, key.s_point)
-        right = self.group.pair(self.public_key.s_generator, points[0])
-        for q_point, point in zip(key.q_points, points[1:]):
-            right = right * self.group.pair(q_point, point)
-        return left == right
+        return self.group.pair_ratio_is_one(
+            ((self.public_key.generator, key.s_point),),
+            [
+                (self.public_key.s_generator, points[0]),
+                *zip(key.q_points, points[1:]),
+            ],
+        )
 
 
 class ResilientTRE:
@@ -349,9 +356,15 @@ class ResilientTRE:
             )
         if len(leaf_key.q_points) != len(ciphertext.u_points):
             raise UpdateVerificationError("malformed leaf key or ciphertext")
-        k: GTElement = self.group.pair(ciphertext.u0, leaf_key.s_point)
-        for q_point, u_point in zip(leaf_key.q_points, ciphertext.u_points):
-            k = k / self.group.pair(q_point, u_point)
+        # One multi-pairing for the whole ratio: d+1 Miller loops in
+        # lockstep (divisions become conjugated factors), one final exp.
+        k: GTElement = self.group.multi_pair(
+            [
+                (ciphertext.u0, leaf_key.s_point),
+                *zip(leaf_key.q_points, ciphertext.u_points),
+            ],
+            [1] + [-1] * len(leaf_key.q_points),
+        )
         k = k ** private
         mask = self.group.mask_bytes(k, len(ciphertext.masked), tag=H2_TAG)
         return xor_bytes(ciphertext.masked, mask)

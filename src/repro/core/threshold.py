@@ -195,9 +195,10 @@ class ThresholdTimeServer:
             return False
         verification_key = self.expected_verification_key(share.member_index)
         h_t = self.group.hash_to_g1(share.time_label, tag=H1_TAG)
-        left = self.group.pair(verification_key, h_t)
-        right = self.group.pair(self.public_key.generator, share.point)
-        return left == right
+        return self.group.pair_ratio_is_one(
+            ((verification_key, h_t),),
+            ((self.public_key.generator, share.point),),
+        )
 
     # ------------------------------------------------------------------
     # Combination.

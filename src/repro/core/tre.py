@@ -183,6 +183,8 @@ class TimedReleaseScheme:
         receiver: UserKeyPair | int,
         update: TimeBoundKeyUpdate,
         server_public: ServerPublicKey | None = None,
+        workers: int | None = None,
+        chunk_size: int | None = None,
     ) -> list[bytes]:
         """Decrypt many ciphertexts bound to the *same* release time.
 
@@ -196,6 +198,13 @@ class TimedReleaseScheme:
         :class:`UpdateVerificationError` before any plaintext is
         produced.  ``server_public``, when given, self-authenticates
         the update once for the whole batch.
+
+        ``workers > 1`` shards the batch across a process pool via
+        :mod:`repro.parallel` (label checks and update verification
+        still happen here, once, before any shard is dispatched); the
+        plaintexts are byte-identical to the sequential path.  Note
+        that pairing work done in workers is not reflected in this
+        group's operation counters.
         """
         private = receiver.private if isinstance(receiver, UserKeyPair) else receiver
         for ciphertext in ciphertexts:
@@ -205,6 +214,21 @@ class TimedReleaseScheme:
                 )
         if server_public is not None:
             update.ensure_valid(self.group, server_public)
+        if workers is not None and workers > 1 and len(ciphertexts) > 1:
+            from repro.parallel import parallel_map
+
+            setup = pack_chunks(
+                private.to_bytes(self.group.scalar_bytes, "big"),
+                update.to_bytes(self.group),
+            )
+            return parallel_map(
+                "tre.decrypt",
+                self.group,
+                setup,
+                [ciphertext.to_bytes(self.group) for ciphertext in ciphertexts],
+                workers=workers,
+                chunk_size=chunk_size,
+            )
         precomp = self.group.precompute_pairing(update.point)
         plaintexts = []
         for ciphertext in ciphertexts:

@@ -29,10 +29,13 @@ from repro.errors import GroupMismatchError, NotInSubgroupError, ParameterError
 from repro.math.quadratic import QuadraticElement
 from repro.pairing import hashing
 from repro.pairing.opcount import (
+    FINAL_EXP,
     FIXED_BASE_MULT,
     GT_EXP,
     GT_MUL,
     HASH_TO_GROUP,
+    MILLER_LOOP,
+    MULTI_PAIRING,
     PAIRING,
     PAIRING_PRECOMP,
     POINT_ADD,
@@ -121,6 +124,9 @@ class PairingPrecomputation:
     def pair(self, q_point: CurvePoint) -> "GTElement":
         """``ê(P, Q)`` — byte-identical to ``group.pair(P, Q)``."""
         self.group.counters.record(PAIRING)
+        if not q_point.is_infinity and not self.point.is_infinity:
+            self.group.counters.record(MILLER_LOOP)
+            self.group.counters.record(FINAL_EXP)
         return GTElement(self.group, self._pair_value(q_point))
 
     def _pair_value(self, q_point: CurvePoint) -> QuadraticElement:
@@ -291,6 +297,9 @@ class PairingGroup:
         slot.  Results are identical either way.
         """
         self.counters.record(PAIRING)
+        if not p_point.is_infinity and not q_point.is_infinity:
+            self.counters.record(MILLER_LOOP)
+            self.counters.record(FINAL_EXP)
         precomp = self._pairing_precomp.get(p_point)
         if precomp is not None:
             return GTElement(self, precomp._pair_value(q_point))
@@ -298,6 +307,75 @@ class PairingGroup:
         if precomp is not None:
             return GTElement(self, precomp._pair_value(p_point))
         return GTElement(self, self.tate.pair(p_point, q_point))
+
+    def multi_pair(self, pairs, exponents=None) -> GTElement:
+        """``Π ê(P_i, Q_i)^{e_i}`` with ONE shared final exponentiation.
+
+        ``pairs`` is a sequence of ``(P, Q)`` point pairs and
+        ``exponents`` an optional matching sequence of ``+1``/``-1``
+        (default all ``+1`` — a plain pairing product).  The Miller
+        loops run in lockstep into a single accumulator and the final
+        exponentiation is applied once, so a product that would cost
+        ``k`` pairings and ``k`` final exponentiations costs ``k``
+        Miller loops and one final exponentiation; negative exponents
+        cost one ``Fp2`` conjugation per line instead of a GT inversion.
+        Cached Miller lines (:meth:`precompute_pairing`) are picked up
+        on either argument of each pair, exactly like :meth:`pair`.
+
+        The result is byte-identical to computing ``group.pair`` per
+        pair and multiplying (inverting the ``e_i == -1`` factors).
+        """
+        pairs = list(pairs)
+        if not pairs:
+            return self.gt_identity()
+        resolved = []
+        live = 0
+        for p_point, q_point in pairs:
+            self.counters.record(PAIRING)
+            if not p_point.is_infinity and not q_point.is_infinity:
+                self.counters.record(MILLER_LOOP)
+                live += 1
+            first, second = p_point, q_point
+            precomp = self._pairing_precomp.get(p_point)
+            if precomp is not None and precomp.lines is not None:
+                first, second = precomp.lines, q_point
+                self.counters.record(PAIRING_PRECOMP)
+            else:
+                precomp = self._pairing_precomp.get(q_point)
+                if precomp is not None and precomp.lines is not None:
+                    # Symmetric pairing: a cached second argument swaps
+                    # into the fixed slot.
+                    first, second = precomp.lines, p_point
+                    self.counters.record(PAIRING_PRECOMP)
+            resolved.append((first, second))
+        self.counters.record(MULTI_PAIRING)
+        if live:
+            self.counters.record(FINAL_EXP)
+        return GTElement(self, self.tate.multi_pair(resolved, exponents))
+
+    def pair_ratio_is_one(self, numerators, denominators=()) -> bool:
+        """Verify ``Π ê(numerators) == Π ê(denominators)`` in one shot.
+
+        The pairing-product equation behind every verification in the
+        library (BLS, update self-authentication, receiver-key
+        well-formedness, threshold shares, resilient node keys) checked
+        with a single multi-pairing: one combined Miller loop and one
+        final exponentiation instead of one of each per pairing.
+
+        As a verifier entry point this rejects degenerate equations: if
+        any input point is the point at infinity the check returns
+        ``False`` (an infinity factor contributes the identity, which
+        would let a forged element cancel out of the equation).  Callers
+        comparing products that may legitimately contain infinity use
+        :meth:`multi_pair` directly.
+        """
+        numerators = list(numerators)
+        denominators = list(denominators)
+        for p_point, q_point in (*numerators, *denominators):
+            if p_point.is_infinity or q_point.is_infinity:
+                return False
+        exponents = [1] * len(numerators) + [-1] * len(denominators)
+        return self.multi_pair([*numerators, *denominators], exponents).is_identity()
 
     def precompute_pairing(self, point: CurvePoint) -> PairingPrecomputation:
         """Cache Miller lines for a fixed pairing argument.

@@ -155,23 +155,123 @@ def evaluate_line_sequence(
 
     Performs the same ``Fp2`` squarings and multiplications as
     :func:`miller_loop_denominator_free` (so the reduced pairing value
-    is bit-for-bit identical) but no curve arithmetic.
+    is bit-for-bit identical) but no curve arithmetic.  The loop works
+    on the raw ``(a, b)`` integer coefficients — every step is the same
+    exact mod-``p`` computation :class:`QuadraticElement` would perform,
+    minus the per-step object allocations, which dominate at this level.
     """
     if s_point.is_infinity:
         raise ParameterError("cannot evaluate Miller function at infinity")
-    s_x, s_y = s_point.x, s_point.y
-    f = fp2.one()
+    p = fp2.p
+    beta = fp2.beta
+    sx_a, sx_b = s_point.x.a, s_point.x.b
+    sy_a, sy_b = s_point.y.a, s_point.y.b
+    fa, fb = 1, 0
     for is_add, kind, xv, yv, slope in lines.steps:
         if not is_add:
-            f = f.square()
+            a2 = fa * fa
+            b2 = fb * fb
+            fa, fb = (a2 + beta * b2) % p, 2 * fa * fb % p
         if kind == _LINE:
-            value = (s_y - yv) - (s_x - xv) * slope
+            va = (sy_a - yv - (sx_a - xv) * slope) % p
+            # Family A distorts to a purely-real x, so the line value's
+            # ``u`` coefficient is the constant ``sy_b`` — no multiply.
+            vb = (sy_b - sx_b * slope) % p if sx_b else sy_b
         elif kind == _VERT:
-            value = s_x - xv
+            va = (sx_a - xv) % p
+            vb = sx_b
         else:
             continue
-        f = f * value
-    return f
+        if vb:
+            ac = fa * va
+            bd = fb * vb
+            fa, fb = (
+                (ac + beta * bd) % p,
+                ((fa + fb) * (va + vb) - ac - bd) % p,
+            )
+        else:
+            fa, fb = fa * va % p, fb * va % p
+    return QuadraticElement(fp2, fa, fb)
+
+
+def evaluate_line_sequences_product(
+    tasks,
+    fp2: QuadraticField,
+) -> QuadraticElement:
+    """``Π f_{order, P_i}(S_i)^{±1}`` with ONE shared squaring chain.
+
+    ``tasks`` is a sequence of ``(lines, s_point, conjugate)`` triples:
+    cached coefficients from :func:`record_line_sequence`, the ``E(Fp2)``
+    evaluation point, and whether this factor enters the product
+    conjugated (the unitary trick for exponent ``-1`` — after the final
+    exponentiation ``FE(conj(f)) == FE(f)^-1``, so a conjugation here
+    replaces a GT inversion there).
+
+    Every sequence must be recorded for the same loop ``order``: the
+    double/add step pattern is a function of the order alone, so the
+    sequences align step-for-step and the accumulator squaring — one
+    ``Fp2`` squaring per doubling step, normally paid once *per pairing*
+    — is paid once for the whole product.  Because conjugation is a ring
+    homomorphism and ``Fp2`` arithmetic is exact, the result equals the
+    product of the individual :func:`evaluate_line_sequence` values
+    (conjugated where requested) bit for bit.
+    """
+    tasks = list(tasks)
+    if not tasks:
+        return fp2.one()
+    order = tasks[0][0].order
+    length = len(tasks[0][0].steps)
+    prepared = []
+    for lines, s_point, conjugate in tasks:
+        if lines.order != order or len(lines.steps) != length:
+            raise ParameterError(
+                "line sequences disagree on the loop order; "
+                "multi-pairing requires one shared order"
+            )
+        if s_point.is_infinity:
+            raise ParameterError("cannot evaluate Miller function at infinity")
+        prepared.append((
+            lines.steps,
+            s_point.x.a, s_point.x.b,
+            s_point.y.a, s_point.y.b,
+            conjugate,
+        ))
+    # Same integer-level loop as evaluate_line_sequence, with one shared
+    # accumulator: each step squares once and folds in every task's line
+    # value (conjugation = negating the ``b`` coefficient).
+    p = fp2.p
+    beta = fp2.beta
+    shared_steps = prepared[0][0]
+    fa, fb = 1, 0
+    for index in range(length):
+        if not shared_steps[index][0]:  # is_add flag, shared by all tasks
+            a2 = fa * fa
+            b2 = fb * fb
+            fa, fb = (a2 + beta * b2) % p, 2 * fa * fb % p
+        for steps, sx_a, sx_b, sy_a, sy_b, conjugate in prepared:
+            _, kind, xv, yv, slope = steps[index]
+            if kind == _LINE:
+                va = (sy_a - yv - (sx_a - xv) * slope) % p
+                # Purely-real distorted x (family A): the ``u``
+                # coefficient is the constant ``sy_b`` — no multiply.
+                vb = (sy_b - sx_b * slope) % p if sx_b else sy_b
+            elif kind == _VERT:
+                va = (sx_a - xv) % p
+                vb = sx_b
+            else:
+                continue
+            if conjugate:
+                vb = -vb % p
+            if vb:
+                ac = fa * va
+                bd = fb * vb
+                fa, fb = (
+                    (ac + beta * bd) % p,
+                    ((fa + fb) * (va + vb) - ac - bd) % p,
+                )
+            else:
+                fa, fb = fa * va % p, fb * va % p
+    return QuadraticElement(fp2, fa, fb)
 
 
 def miller_loop_general(

@@ -27,6 +27,16 @@ GT_MUL = "gt_mul"
 FIXED_BASE_MULT = "fixed_base_mult"
 PAIRING_PRECOMP = "pairing_precomp"
 
+# Pairing internals, counted separately so the multi-pairing saving is
+# visible: a direct pairing is one Miller loop plus one final
+# exponentiation, while a k-fold multi-pairing is k Miller loops and ONE
+# final exponentiation.  Like the fast-path counters these ride along
+# with the primary ``pairing`` count (a pairing evaluated inside a
+# multi-pairing still records one ``pairing``).
+MILLER_LOOP = "miller_loop"
+FINAL_EXP = "final_exp"
+MULTI_PAIRING = "multi_pair"
+
 
 class OperationCounter:
     """A named multiset of primitive-operation counts."""

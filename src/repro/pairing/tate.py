@@ -24,6 +24,7 @@ from repro.math.quadratic import QuadraticElement
 from repro.pairing.miller import (
     PrecomputedLines,
     evaluate_line_sequence,
+    evaluate_line_sequences_product,
     miller_loop_denominator_free,
     miller_loop_general,
     record_line_sequence,
@@ -158,6 +159,76 @@ class TatePairing:
             raise NotInSubgroupError("pairing inputs must lie on E(Fp)")
         s_point = self.ssc.distort(q_point)
         f = evaluate_line_sequence(lines, s_point, self.fp2)
+        return self.final_exponentiation(f)
+
+    def multi_pair(self, pairs, exponents=None) -> QuadraticElement:
+        """``Π ê(P_i, Q_i)^{e_i}`` with ONE shared final exponentiation.
+
+        ``pairs`` is a sequence of ``(P, Q)`` where ``P`` is either a
+        subgroup point of ``E(Fp)`` or a :class:`PrecomputedLines`
+        recorded for one (family A), and ``Q`` is a subgroup point;
+        ``exponents`` is an optional matching sequence of ``+1``/``-1``
+        (default all ``+1``).
+
+        A product of ``k`` pairings normally costs ``k`` Miller loops
+        *and* ``k`` final exponentiations.  Here the Miller loops run in
+        lockstep accumulating into a single ``Fp2`` product (on family A
+        the per-iteration accumulator squaring is shared too), negative
+        exponents enter as conjugated Miller values (valid because
+        ``FE(conj(f)) == FE(f)^-1`` for the even-embedding-degree
+        reduced Tate pairing — the Frobenius on ``Fp2`` is conjugation),
+        and the final exponentiation is applied once to the product.
+        The result is bit-for-bit equal to the product of the individual
+        :meth:`pair` values (inverted where ``e_i == -1``): the final
+        exponentiation and conjugation are ring homomorphisms and every
+        field operation is exact.
+
+        Pairs with an infinity argument contribute the identity factor,
+        mirroring ``ê(O, Q) == 1``.
+        """
+        pairs = list(pairs)
+        if exponents is None:
+            exponents = [1] * len(pairs)
+        else:
+            exponents = list(exponents)
+            if len(exponents) != len(pairs):
+                raise ParameterError("one exponent per pair required")
+            if any(e not in (1, -1) for e in exponents):
+                raise ParameterError("multi_pair exponents must be +1 or -1")
+        live = []
+        for (first, q_point), exponent in zip(pairs, exponents):
+            if isinstance(first, PrecomputedLines):
+                if q_point.is_infinity:
+                    continue
+                if q_point.curve != self.ssc.curve:
+                    raise NotInSubgroupError("pairing inputs must lie on E(Fp)")
+            else:
+                if first.is_infinity or q_point.is_infinity:
+                    continue
+                if first.curve != self.ssc.curve or q_point.curve != self.ssc.curve:
+                    raise NotInSubgroupError("pairing inputs must lie on E(Fp)")
+            live.append((first, q_point, exponent))
+        if not live:
+            return self.fp2.one()
+        if self.ssc.family == FAMILY_A:
+            tasks = []
+            for first, q_point, exponent in live:
+                lines = (
+                    first
+                    if isinstance(first, PrecomputedLines)
+                    else record_line_sequence(first, self.ssc.q)
+                )
+                tasks.append((lines, self.ssc.distort(q_point), exponent < 0))
+            f = evaluate_line_sequences_product(tasks, self.fp2)
+        else:
+            f = self.fp2.one()
+            for first, q_point, exponent in live:
+                if isinstance(first, PrecomputedLines):
+                    raise ParameterError(
+                        "precomputed lines require the family A Miller loop"
+                    )
+                g = self._general_miller(first, self.ssc.distort(q_point))
+                f = f * (g.conjugate() if exponent < 0 else g)
         return self.final_exponentiation(f)
 
     def _general_miller(self, p_point, s_point) -> QuadraticElement:

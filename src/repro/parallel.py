@@ -1,0 +1,305 @@
+"""Process-parallel batch engine for embarrassingly parallel crypto work.
+
+The deployment-shaped batch operations — a receiver decrypting a backlog
+of same-label ciphertexts, a verifier authenticating an archive of
+time-bound key updates — are embarrassingly parallel: every item is
+independent and the per-item work (a Miller loop, a final
+exponentiation) dwarfs serialization cost.  This module shards such
+batches across a :mod:`multiprocessing` worker pool:
+
+* **Byte-serialized tasks.**  Work units cross the process boundary as
+  the library's own wire encodings (``to_bytes`` / ``from_bytes``), so
+  results are byte-identical to the sequential path and nothing depends
+  on pickling curve points or field elements.
+* **Lazy per-worker group reconstruction.**  A :class:`PairingGroup` is
+  not picklable (it holds caches and counters); workers rebuild it from
+  the parameter-set description on first use and cache it for the rest
+  of their life.  This makes the engine safe under both ``fork`` and
+  ``spawn`` start methods.
+* **Chunked dispatch.**  Payloads are grouped into chunks (default:
+  ``ceil(n / (workers * 4))`` per chunk) so each task invocation can
+  amortize per-batch setup — e.g. precomputing the shared update's
+  Miller lines once per chunk — while still load-balancing across
+  workers.
+* **Sequential fallback.**  ``workers <= 1`` (or a single payload) runs
+  the identical task function in-process: same code path, same bytes,
+  no pool.
+* **Failure surfacing.**  A worker exception is captured with its
+  traceback and re-raised in the parent as
+  :class:`~repro.errors.ParallelExecutionError` — the pool never hangs
+  on an unpicklable exception and failures stay diagnosable.
+
+Operation counters are per-process, so work done inside workers is NOT
+reflected in the parent group's counters; cost accounting for parallel
+paths lives in :mod:`repro.analysis.costmodel` instead.
+
+Task functions are registered at import time under stable string names
+(the only thing shipped to the worker besides bytes), take
+``(group, setup, chunk)`` and return one ``bytes`` result per payload.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+import traceback
+from typing import Callable, Sequence
+
+from repro.errors import ParallelExecutionError, ParameterError
+from repro.pairing.api import PairingGroup
+from repro.pairing.params import PARAMETER_SETS, ParameterSet
+
+# ----------------------------------------------------------------------
+# Task registry.  Populated at module import, so any process that can
+# unpickle `_execute_chunk` (which requires importing this module) sees
+# the same registry — the basis of spawn-safety.
+# ----------------------------------------------------------------------
+
+TaskFn = Callable[[PairingGroup, bytes, "list[bytes]"], "list[bytes]"]
+
+_TASKS: dict[str, TaskFn] = {}
+
+
+def register_task(name: str) -> Callable[[TaskFn], TaskFn]:
+    """Register ``fn`` as the chunk-level handler for ``name``.
+
+    The function receives ``(group, setup, chunk)`` — the rebuilt
+    pairing group, the task-wide setup blob, and a list of payload
+    blobs — and must return exactly one ``bytes`` per payload, in
+    order.
+    """
+
+    def decorate(fn: TaskFn) -> TaskFn:
+        if name in _TASKS:
+            raise ParameterError(f"parallel task {name!r} already registered")
+        _TASKS[name] = fn
+        return fn
+
+    return decorate
+
+
+def task_names() -> list[str]:
+    return sorted(_TASKS)
+
+
+# ----------------------------------------------------------------------
+# Per-worker pairing-group cache.
+# ----------------------------------------------------------------------
+
+_WORKER_GROUPS: dict[tuple, PairingGroup] = {}
+
+
+def _group_spec(group: PairingGroup) -> tuple:
+    """A picklable, worker-reconstructable description of ``group``."""
+    params = group.params
+    return (
+        params.name,
+        params.q,
+        params.c,
+        params.p,
+        params.security_bits,
+        group.family,
+    )
+
+
+def _group_from_spec(spec: tuple) -> PairingGroup:
+    """Rebuild (once per worker process) the group a spec describes."""
+    group = _WORKER_GROUPS.get(spec)
+    if group is None:
+        name, q, c, p, security_bits, family = spec
+        params = PARAMETER_SETS.get(name)
+        if params is None or (params.q, params.c, params.p) != (q, c, p):
+            params = ParameterSet(
+                name=name, q=q, c=c, p=p, security_bits=security_bits
+            )
+        group = PairingGroup(params, family)
+        _WORKER_GROUPS[spec] = group
+    return group
+
+
+# ----------------------------------------------------------------------
+# The engine.
+# ----------------------------------------------------------------------
+
+
+def available_workers() -> int:
+    """CPUs this process may run on (affinity-aware where supported)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def default_chunk_size(item_count: int, workers: int) -> int:
+    """~4 chunks per worker: large enough to amortize per-chunk setup,
+    small enough that a slow chunk cannot straggle the whole batch."""
+    return max(1, math.ceil(item_count / (max(1, workers) * 4)))
+
+
+def _default_start_method() -> str:
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else methods[0]
+
+
+def _execute_chunk(job: tuple) -> tuple[str, object]:
+    """Worker entry point: run one chunk, never raise across the pipe."""
+    task_name, spec, setup, chunk = job
+    try:
+        fn = _TASKS[task_name]
+        group = _group_from_spec(spec)
+        results = list(fn(group, setup, list(chunk)))
+        if len(results) != len(chunk):
+            raise ParallelExecutionError(
+                f"task {task_name!r} returned {len(results)} results "
+                f"for {len(chunk)} payloads"
+            )
+        return ("ok", results)
+    except BaseException as exc:  # noqa: BLE001 - must cross the pipe
+        detail = f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"
+        return ("err", detail)
+
+
+def parallel_map(
+    task: str,
+    group: PairingGroup,
+    setup: bytes,
+    payloads: Sequence[bytes],
+    workers: int | None = None,
+    chunk_size: int | None = None,
+    start_method: str | None = None,
+) -> list[bytes]:
+    """Run a registered task over ``payloads``, sharded across processes.
+
+    Parameters
+    ----------
+    task:
+        A name from :func:`task_names`.
+    group:
+        The parent's pairing group; workers rebuild an equivalent one
+        from its parameter set.
+    setup:
+        Task-wide context (already byte-encoded), handed to every chunk.
+    payloads:
+        Byte-encoded work items; one result blob is returned per item,
+        in order.
+    workers:
+        Process count.  ``None`` means :func:`available_workers`;
+        ``<= 1`` runs sequentially in-process (identical code path and
+        bytes, no pool).
+    chunk_size:
+        Payloads per task invocation; ``None`` picks
+        :func:`default_chunk_size`.
+    start_method:
+        ``multiprocessing`` start method; default prefers ``fork``.
+
+    Raises
+    ------
+    ParallelExecutionError
+        If any worker chunk raised; carries the worker traceback text.
+    """
+    if task not in _TASKS:
+        raise ParameterError(
+            f"unknown parallel task {task!r}; known: {task_names()}"
+        )
+    payloads = list(payloads)
+    if not payloads:
+        return []
+    if workers is None:
+        workers = available_workers()
+
+    if workers <= 1 or len(payloads) == 1:
+        status, value = _execute_chunk((task, _group_spec(group), setup, payloads))
+        if status != "ok":
+            raise ParallelExecutionError(
+                f"task {task!r} failed (sequential fallback): {value}"
+            )
+        return value  # type: ignore[return-value]
+
+    spec = _group_spec(group)
+    if chunk_size is None:
+        chunk_size = default_chunk_size(len(payloads), workers)
+    chunk_size = max(1, chunk_size)
+    chunks = [
+        payloads[i : i + chunk_size]
+        for i in range(0, len(payloads), chunk_size)
+    ]
+    jobs = [(task, spec, setup, chunk) for chunk in chunks]
+    context = multiprocessing.get_context(start_method or _default_start_method())
+    with context.Pool(processes=min(workers, len(chunks))) as pool:
+        outcomes = pool.map(_execute_chunk, jobs)
+    results: list[bytes] = []
+    for status, value in outcomes:
+        if status != "ok":
+            raise ParallelExecutionError(f"task {task!r} failed in worker: {value}")
+        results.extend(value)
+    return results
+
+
+# ----------------------------------------------------------------------
+# Built-in tasks.  Core-scheme imports stay inside the task bodies so
+# importing this module never drags in (or cycles with) repro.core.
+# ----------------------------------------------------------------------
+
+
+@register_task("selftest.echo")
+def _task_selftest_echo(
+    group: PairingGroup, setup: bytes, chunk: list[bytes]
+) -> list[bytes]:
+    """Engine plumbing check: concatenate setup with each payload."""
+    return [setup + payload for payload in chunk]
+
+
+@register_task("selftest.fail")
+def _task_selftest_fail(
+    group: PairingGroup, setup: bytes, chunk: list[bytes]
+) -> list[bytes]:
+    """Deterministic failure, for exercising the error-surfacing path."""
+    raise RuntimeError(f"selftest.fail invoked on {len(chunk)} payload(s)")
+
+
+@register_task("tre.decrypt")
+def _task_tre_decrypt(
+    group: PairingGroup, setup: bytes, chunk: list[bytes]
+) -> list[bytes]:
+    """Decrypt a shard of same-label TRE ciphertexts.
+
+    ``setup`` packs the receiver's private scalar and the (already
+    parent-verified) update; each payload is one ciphertext.  The chunk
+    rides the sequential ``decrypt_batch`` fast path, so the update's
+    Miller lines are computed once per chunk.
+    """
+    from repro.core.timeserver import TimeBoundKeyUpdate
+    from repro.core.tre import TimedReleaseScheme, TRECiphertext
+    from repro.encoding import unpack_chunks
+
+    private_blob, update_blob = unpack_chunks(setup)
+    private = int.from_bytes(private_blob, "big")
+    update = TimeBoundKeyUpdate.from_bytes(group, update_blob)
+    ciphertexts = [TRECiphertext.from_bytes(group, blob) for blob in chunk]
+    return TimedReleaseScheme(group).decrypt_batch(ciphertexts, private, update)
+
+
+@register_task("timeserver.verify_update")
+def _task_timeserver_verify_update(
+    group: PairingGroup, setup: bytes, chunk: list[bytes]
+) -> list[bytes]:
+    """Self-authenticate a shard of archived updates.
+
+    ``setup`` is the server public key; each payload is one update.
+    Returns ``b"\\x01"`` (valid) / ``b"\\x00"`` (forged) per update,
+    with the fixed ``(G, sG)`` Miller lines precomputed once per chunk.
+    """
+    from repro.core.bls import BLSSignatureScheme
+    from repro.core.keys import ServerPublicKey
+    from repro.core.timeserver import TimeBoundKeyUpdate
+
+    server_public = ServerPublicKey.from_bytes(group, setup)
+    bls = BLSSignatureScheme(group)
+    bls.precompute_public(server_public)
+    results = []
+    for blob in chunk:
+        update = TimeBoundKeyUpdate.from_bytes(group, blob)
+        valid = bls.verify(server_public, update.time_label, update.point)
+        results.append(b"\x01" if valid else b"\x00")
+    return results

@@ -10,6 +10,7 @@ import pytest
 from repro.analysis.costmodel import (
     HYBRID_COST,
     IDTRE_COST,
+    OpBudget,
     PRECOMP_UPDATE_VERIFY_COST,
     RECEIVER_KEY_CHECK_COST,
     TRE_COST,
@@ -39,7 +40,10 @@ def _assert_budget(measured: dict, budget) -> None:
     expected = budget.as_dict()
     relevant = {
         k: v for k, v in measured.items()
-        if k in ("pairing", "scalar_mult", "hash_to_group", "gt_exp", "point_add")
+        if k in (
+            "pairing", "scalar_mult", "hash_to_group", "gt_exp", "point_add",
+            "miller_loop", "final_exp", "multi_pair",
+        )
     }
     # point_add counts are advisory; compare the expensive ops exactly.
     relevant.pop("point_add", None)
@@ -168,6 +172,7 @@ def _assert_budget_with_advisory(measured: dict, budget) -> None:
     names = (
         "pairing", "scalar_mult", "hash_to_group", "gt_exp",
         "fixed_base_mult", "pairing_precomp",
+        "miller_loop", "final_exp", "multi_pair",
     )
     relevant = {k: v for k, v in measured.items() if k in names}
     expected = budget.as_dict()
@@ -236,6 +241,51 @@ class TestPrecomputedBudgets:
             tre_batch_decrypt_cost(8).dominant_cost()
             < 8 * TRE_COST.decrypt.dominant_cost()
         )
+
+    def test_dominant_cost_credits_shared_final_exps(self):
+        from repro.analysis.costmodel import multiserver_cost, resilient_cost
+
+        fused = multiserver_cost(4).decrypt
+        unfused = OpBudget(pairings=4, gt_exps=1)
+        assert fused.dominant_cost() < unfused.dominant_cost()
+        # A 2-pairing ratio check beats two standalone pairings.
+        two_separate = OpBudget(pairings=2)
+        assert (
+            RECEIVER_KEY_CHECK_COST.dominant_cost()
+            < two_separate.dominant_cost()
+        )
+        assert (
+            resilient_cost(8).decrypt.dominant_cost()
+            < OpBudget(pairings=8, gt_exps=1).dominant_cost()
+        )
+
+
+class TestSpeedupFormulas:
+    def test_multi_pairing_saving_grows_linearly(self):
+        from repro.analysis.costmodel import (
+            multi_pairing_saving,
+            multi_pairing_speedup,
+        )
+
+        assert multi_pairing_saving(1) == 0.0
+        assert multi_pairing_saving(3) == 2 * multi_pairing_saving(2)
+        assert multi_pairing_speedup(1) == 1.0
+        # Speedup grows with k but is bounded by the Miller-loop share.
+        s2, s8 = multi_pairing_speedup(2), multi_pairing_speedup(8)
+        assert 1.0 < s2 < s8
+        assert s8 < 10.0 / (10.0 - 2.0) * 1.001  # asymptote
+
+    def test_parallel_speedup_model(self):
+        from repro.analysis.costmodel import parallel_speedup
+
+        assert parallel_speedup(1, 100) == 1.0
+        assert parallel_speedup(8, 1) == 1.0
+        s4 = parallel_speedup(4, 100)
+        s8 = parallel_speedup(8, 100)
+        assert 1.0 < s4 < 4.0  # sub-linear: Amdahl serial fraction
+        assert s4 < s8 < 8.0
+        # More workers than items: the surplus idles.
+        assert parallel_speedup(64, 4) == parallel_speedup(4, 4)
 
 
 class TestRendering:

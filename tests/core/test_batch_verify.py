@@ -67,6 +67,82 @@ class TestBatchVerifyUpdates:
         assert ops_individual.get("pairing", 0) == 2 * len(updates)
 
 
+class TestForgedUpdateInLargeArchive:
+    """Adversarial: one forgery hiding in a 32-update archive.
+
+    Every batch-shaped verifier — the 2-pairing small-exponent batch,
+    the per-update multi-pairing ratio check, and its process-parallel
+    sharding — must catch a single forged update among 31 genuine ones,
+    at every forgery position tried.
+    """
+
+    @pytest.fixture(scope="class")
+    def archive32(self, group, session_rng):
+        server = PassiveTimeServer(group, rng=session_rng)
+        updates = [
+            server.publish_update(f"archive32-{i:02d}".encode())
+            for i in range(32)
+        ]
+        return server, updates
+
+    @pytest.mark.parametrize("position", [0, 13, 31])
+    def test_batch_verify_catches_single_forgery(
+        self, group, archive32, rng, position
+    ):
+        server, updates = archive32
+        forged = list(updates)
+        forged[position] = TimeBoundKeyUpdate(
+            updates[position].time_label, group.random_point(rng)
+        )
+        assert batch_verify_updates(group, server.public_key, updates, rng)
+        assert not batch_verify_updates(group, server.public_key, forged, rng)
+
+    @pytest.mark.parametrize("position", [0, 13, 31])
+    def test_ratio_check_pinpoints_single_forgery(
+        self, group, archive32, rng, position
+    ):
+        from repro.core.timeserver import verify_archive
+
+        server, updates = archive32
+        forged = list(updates)
+        forged[position] = TimeBoundKeyUpdate(
+            updates[position].time_label, group.random_point(rng)
+        )
+        expected = [updates[position].time_label]
+        assert verify_archive(group, server.public_key, forged) == expected
+        assert (
+            verify_archive(group, server.public_key, forged, workers=4)
+            == expected
+        )
+
+    def test_pair_ratio_is_one_on_each_update(self, group, archive32, rng):
+        """The underlying primitive: per-update ê(sG,H1(T)) / ê(G,I_T)."""
+        server, updates = archive32
+        public = server.public_key
+        bls = BLSSignatureScheme(group)
+        forged_point = group.random_point(rng)
+        for update in updates[:4]:
+            assert group.pair_ratio_is_one(
+                ((public.s_generator, bls.hash_message(update.time_label)),),
+                ((public.generator, update.point),),
+            )
+            assert not group.pair_ratio_is_one(
+                ((public.s_generator, bls.hash_message(update.time_label)),),
+                ((public.generator, forged_point),),
+            )
+
+    def test_infinity_forgery_rejected(self, group, archive32, rng):
+        from repro.core.timeserver import verify_archive
+
+        server, updates = archive32
+        forged = list(updates)
+        forged[7] = TimeBoundKeyUpdate(updates[7].time_label, group.identity())
+        assert verify_archive(group, server.public_key, forged) == [
+            updates[7].time_label
+        ]
+        assert not batch_verify_updates(group, server.public_key, forged, rng)
+
+
 class TestBatchVerifyBLS:
     def test_forged_signature_cannot_hide_behind_valid_ones(
         self, group, session_rng, rng

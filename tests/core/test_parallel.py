@@ -1,0 +1,180 @@
+"""The process-parallel batch engine must be invisible to callers.
+
+Sharding a batch across worker processes may never change a single
+byte of output relative to the sequential path, regardless of worker
+count, chunk size, or start method — and a worker that raises must
+surface its exception in the parent instead of hanging the pool.
+"""
+
+import pytest
+
+from repro import parallel
+from repro.core.timeserver import (
+    PassiveTimeServer,
+    TimeBoundKeyUpdate,
+    verify_archive,
+)
+from repro.core.tre import TimedReleaseScheme
+from repro.errors import ParallelExecutionError, ParameterError
+
+
+@pytest.fixture(scope="module")
+def batch(group, session_rng):
+    """A server, a receiver, and 12 same-label ciphertexts."""
+    server = PassiveTimeServer(group, rng=session_rng)
+    scheme = TimedReleaseScheme(group)
+    user = scheme.generate_user_keypair(server.public_key, session_rng)
+    label = b"parallel-T"
+    update = server.issue_update(label)
+    messages = [f"parallel message {i}".encode() for i in range(12)]
+    ciphertexts = [
+        scheme.encrypt(
+            message, user.public, server.public_key, label, session_rng,
+            verify_receiver_key=False,
+        )
+        for message in messages
+    ]
+    return server, scheme, user, update, messages, ciphertexts
+
+
+class TestEngine:
+    def test_echo_roundtrip_parallel(self, group):
+        payloads = [bytes([i]) * 3 for i in range(10)]
+        out = parallel.parallel_map(
+            "selftest.echo", group, b"S", payloads, workers=3
+        )
+        assert out == [b"S" + p for p in payloads]
+
+    def test_sequential_fallback_matches(self, group):
+        payloads = [b"a", b"b", b"c"]
+        seq = parallel.parallel_map("selftest.echo", group, b"x", payloads, workers=1)
+        par = parallel.parallel_map("selftest.echo", group, b"x", payloads, workers=2)
+        assert seq == par
+
+    @pytest.mark.parametrize("chunk_size", [1, 2, 5, 100])
+    def test_chunk_size_invariance(self, group, chunk_size):
+        payloads = [bytes([i]) for i in range(11)]
+        out = parallel.parallel_map(
+            "selftest.echo", group, b"", payloads,
+            workers=4, chunk_size=chunk_size,
+        )
+        assert out == payloads
+
+    def test_empty_payloads(self, group):
+        assert parallel.parallel_map("selftest.echo", group, b"", [], workers=4) == []
+
+    def test_unknown_task_rejected(self, group):
+        with pytest.raises(ParameterError):
+            parallel.parallel_map("no.such.task", group, b"", [b"x"])
+
+    def test_worker_failure_surfaces(self, group):
+        with pytest.raises(ParallelExecutionError) as info:
+            parallel.parallel_map(
+                "selftest.fail", group, b"", [b"x", b"y", b"z"], workers=2
+            )
+        # The worker traceback text travels with the exception.
+        assert "selftest.fail invoked" in str(info.value)
+        assert "RuntimeError" in str(info.value)
+
+    def test_failure_surfaces_in_sequential_fallback(self, group):
+        with pytest.raises(ParallelExecutionError):
+            parallel.parallel_map("selftest.fail", group, b"", [b"x"], workers=1)
+
+    def test_default_chunk_size(self):
+        assert parallel.default_chunk_size(0, 4) == 1
+        assert parallel.default_chunk_size(16, 4) == 1
+        assert parallel.default_chunk_size(64, 4) == 4
+        assert parallel.default_chunk_size(5, 1) == 2
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ParameterError):
+            parallel.register_task("selftest.echo")(lambda g, s, c: c)
+
+    def test_task_registry_lists_builtins(self):
+        names = parallel.task_names()
+        assert "tre.decrypt" in names
+        assert "timeserver.verify_update" in names
+
+
+class TestDecryptBatchParallel:
+    def test_byte_identical_across_worker_counts(self, group, batch):
+        _, scheme, user, update, messages, ciphertexts = batch
+        sequential = scheme.decrypt_batch(ciphertexts, user, update)
+        assert sequential == messages
+        for workers in (1, 2, 4):
+            sharded = scheme.decrypt_batch(
+                ciphertexts, user, update, workers=workers
+            )
+            assert sharded == sequential
+
+    @pytest.mark.parametrize("chunk_size", [1, 3, 7, 50])
+    def test_byte_identical_across_chunk_sizes(self, group, batch, chunk_size):
+        _, scheme, user, update, messages, ciphertexts = batch
+        sharded = scheme.decrypt_batch(
+            ciphertexts, user, update, workers=3, chunk_size=chunk_size
+        )
+        assert sharded == messages
+
+    def test_label_mismatch_raised_before_dispatch(self, group, batch, rng):
+        server, scheme, user, update, _, ciphertexts = batch
+        stray = scheme.encrypt(
+            b"stray", user.public, server.public_key, b"other-T", rng,
+            verify_receiver_key=False,
+        )
+        from repro.errors import UpdateVerificationError
+
+        with pytest.raises(UpdateVerificationError):
+            scheme.decrypt_batch(ciphertexts + [stray], user, update, workers=4)
+
+    def test_accepts_bare_private_scalar(self, group, batch):
+        _, scheme, user, update, messages, ciphertexts = batch
+        assert (
+            scheme.decrypt_batch(ciphertexts, user.private, update, workers=2)
+            == messages
+        )
+
+
+class TestVerifyArchiveParallel:
+    @pytest.fixture(scope="class")
+    def archive(self, group, session_rng):
+        server = PassiveTimeServer(group, rng=session_rng)
+        updates = [
+            server.publish_update(f"parallel-archive-{i}".encode())
+            for i in range(10)
+        ]
+        return server, updates
+
+    def test_clean_archive_all_worker_counts(self, group, archive):
+        server, updates = archive
+        for workers in (None, 1, 3):
+            assert verify_archive(
+                group, server.public_key, updates, workers=workers
+            ) == []
+
+    def test_forged_update_pinpointed(self, group, archive, rng):
+        server, updates = archive
+        tampered = list(updates)
+        tampered[4] = TimeBoundKeyUpdate(
+            updates[4].time_label, group.random_point(rng)
+        )
+        expected = [updates[4].time_label]
+        assert verify_archive(group, server.public_key, tampered) == expected
+        assert (
+            verify_archive(group, server.public_key, tampered, workers=3)
+            == expected
+        )
+
+    def test_parallel_matches_sequential_order(self, group, archive, rng):
+        server, updates = archive
+        tampered = list(updates)
+        for index in (1, 5, 8):
+            tampered[index] = TimeBoundKeyUpdate(
+                updates[index].time_label, group.random_point(rng)
+            )
+        sequential = verify_archive(group, server.public_key, tampered)
+        sharded = verify_archive(
+            group, server.public_key, tampered, workers=4, chunk_size=2
+        )
+        assert sequential == sharded == [
+            updates[i].time_label for i in (1, 5, 8)
+        ]

@@ -1,0 +1,156 @@
+"""The multi-pairing kernel must be byte-identical to pairing products.
+
+``multi_pair`` runs the Miller loops of every pair in lockstep into one
+``Fp²`` accumulator and applies a single shared final exponentiation;
+negative exponents ride the unitary-conjugation trick
+(``FE(conj(f)) == FE(f)^-1``).  Everything here is exact arithmetic mod
+``p``, so the composite result must match the product of individual
+``pair`` calls *bit for bit* — these tests assert that identity across
+both curve families, mixed exponent signs, cached Miller lines, and the
+production parameter set.
+"""
+
+import random
+
+import pytest
+
+from repro.core.keys import ServerKeyPair, UserKeyPair
+from repro.pairing.api import PairingGroup
+
+
+def _random_pairs(group, rng, count):
+    return [
+        (group.random_point(rng), group.random_point(rng))
+        for _ in range(count)
+    ]
+
+
+def _sequential_product(group, pairs, exponents=None):
+    if exponents is None:
+        exponents = [1] * len(pairs)
+    product = group.gt_identity()
+    for (p_point, q_point), exponent in zip(pairs, exponents):
+        factor = group.pair(p_point, q_point)
+        product = product * (factor if exponent > 0 else factor.inverse())
+    return product
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize("count", [1, 2, 3, 5])
+    def test_plain_product(self, any_group, rng, count):
+        pairs = _random_pairs(any_group, rng, count)
+        fused = any_group.multi_pair(pairs)
+        assert fused.to_bytes() == _sequential_product(any_group, pairs).to_bytes()
+
+    @pytest.mark.parametrize(
+        "signs",
+        [(1, -1), (-1, 1), (1, 1, -1), (-1, -1, -1), (1, -1, 1, -1)],
+    )
+    def test_mixed_exponents(self, any_group, rng, signs):
+        pairs = _random_pairs(any_group, rng, len(signs))
+        fused = any_group.multi_pair(pairs, list(signs))
+        expected = _sequential_product(any_group, pairs, list(signs))
+        assert fused.to_bytes() == expected.to_bytes()
+
+    def test_with_precomputed_lines(self, group, rng):
+        pairs = _random_pairs(group, rng, 3)
+        expected = _sequential_product(group, pairs, [1, -1, 1])
+        # Cache lines for a mix of first and second arguments.
+        group.precompute_pairing(pairs[0][0])
+        group.precompute_pairing(pairs[1][1])
+        try:
+            fused = group.multi_pair(pairs, [1, -1, 1])
+            with group.counters.measure() as ops:
+                again = group.multi_pair(pairs, [1, -1, 1])
+            assert fused.to_bytes() == expected.to_bytes()
+            assert again.to_bytes() == expected.to_bytes()
+            assert ops.get("pairing_precomp", 0) == 2
+        finally:
+            group.clear_precomputations()
+
+    def test_matches_pair_under_precomp_and_not(self, group, rng):
+        """Cached and uncached pairs agree inside one multi-pairing."""
+        p_point, q_point = group.random_point(rng), group.random_point(rng)
+        direct = group.pair(p_point, q_point)
+        fused = group.multi_pair([(p_point, q_point)])
+        assert fused.to_bytes() == direct.to_bytes()
+
+    def test_infinity_pairs_contribute_identity(self, any_group, rng):
+        live = (any_group.random_point(rng), any_group.random_point(rng))
+        pairs = [
+            (any_group.identity(), any_group.random_point(rng)),
+            live,
+            (any_group.random_point(rng), any_group.identity()),
+        ]
+        fused = any_group.multi_pair(pairs)
+        assert fused.to_bytes() == any_group.pair(*live).to_bytes()
+
+    def test_empty_and_all_infinity(self, any_group, rng):
+        assert any_group.multi_pair([]).is_identity()
+        pairs = [(any_group.identity(), any_group.random_point(rng))]
+        assert any_group.multi_pair(pairs).is_identity()
+
+    def test_exponent_validation(self, group, rng):
+        pairs = _random_pairs(group, rng, 2)
+        from repro.errors import ParameterError
+
+        with pytest.raises(ParameterError):
+            group.multi_pair(pairs, [1])
+        with pytest.raises(ParameterError):
+            group.multi_pair(pairs, [1, 2])
+
+    def test_counters(self, group, rng):
+        pairs = _random_pairs(group, rng, 3)
+        with group.counters.measure() as ops:
+            group.multi_pair(pairs, [1, 1, -1])
+        assert ops.get("pairing", 0) == 3
+        assert ops.get("miller_loop", 0) == 3
+        assert ops.get("final_exp", 0) == 1
+        assert ops.get("multi_pair", 0) == 1
+
+
+class TestProductionParams:
+    """One identity check at production size (kept small: ~6 pairings)."""
+
+    def test_ss512_byte_identity(self):
+        group = PairingGroup("ss512", family="A")
+        rng = random.Random(0x55512)
+        pairs = _random_pairs(group, rng, 2)
+        fused = group.multi_pair(pairs, [1, -1])
+        expected = _sequential_product(group, pairs, [1, -1])
+        assert fused.to_bytes() == expected.to_bytes()
+
+
+class TestPairRatioIsOne:
+    def test_true_and_false_ratios(self, any_group, rng):
+        a = any_group.random_scalar(rng)
+        g = any_group.random_point(rng)
+        h = any_group.random_point(rng)
+        # ê(aG, H) == ê(G, aH): a true ratio.
+        assert any_group.pair_ratio_is_one(
+            ((any_group.mul(g, a), h),), ((g, any_group.mul(h, a)),)
+        )
+        # Perturbed: false.
+        assert not any_group.pair_ratio_is_one(
+            ((any_group.mul(g, a + 1), h),), ((g, any_group.mul(h, a)),)
+        )
+
+    def test_empty_equation_is_trivially_true(self, group):
+        assert group.pair_ratio_is_one(())
+
+    def test_infinity_inputs_rejected(self, any_group, rng):
+        """Verifier guard: an infinity factor must fail, not cancel."""
+        g = any_group.random_point(rng)
+        inf = any_group.identity()
+        assert not any_group.pair_ratio_is_one(((inf, g),), ((g, g),))
+        assert not any_group.pair_ratio_is_one(((g, g),), ((g, inf),))
+        # Both sides infinity would cancel mathematically — still False.
+        assert not any_group.pair_ratio_is_one(((inf, g),), ((inf, g),))
+
+    def test_verification_equation(self, group, session_rng, rng):
+        server = ServerKeyPair.generate(group, session_rng)
+        user = UserKeyPair.generate(group, server.public, rng)
+        assert group.pair_ratio_is_one(
+            ((user.public.a_generator, server.public.s_generator),),
+            ((server.public.generator, user.public.as_generator),),
+        )
