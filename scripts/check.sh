@@ -31,6 +31,10 @@ step "crypto-hygiene lint (repro.lint)"
 PYTHONPATH=src python -m repro.lint src examples benchmarks \
     --check-baseline --self-time-budget 60 || failures=$((failures + 1))
 
+step "fork-safety lint (RP3xx, scoped)"
+PYTHONPATH=src python -m repro.lint src examples benchmarks \
+    --select RP3 || failures=$((failures + 1))
+
 step "ruff"
 if command -v ruff >/dev/null 2>&1; then
     ruff check src tests || failures=$((failures + 1))

@@ -215,10 +215,13 @@ class TimedReleaseScheme:
         if server_public is not None:
             update.ensure_valid(self.group, server_public)
         if workers is not None and workers > 1 and len(ciphertexts) > 1:
-            from repro.parallel import parallel_map
+            from repro.parallel import parallel_map, shard_secret
 
+            # The receiver's scalar must reach the workers; it crosses
+            # as wire-encoded bytes through the audited shard sanitizer
+            # (RP303), never as a pickled object graph.
             setup = pack_chunks(
-                private.to_bytes(self.group.scalar_bytes, "big"),
+                shard_secret(private.to_bytes(self.group.scalar_bytes, "big")),
                 update.to_bytes(self.group),
             )
             return parallel_map(

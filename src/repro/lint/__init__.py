@@ -30,13 +30,29 @@ RP203     secret-serialize  no secret or raw pairing output serialized or
                             persisted without first passing a KDF
 RP204     taint-escape      no secret passed into an untracked third-party
                             call
+RP301     fork-duplicated-rng       no worker-reachable draw from stdlib
+                            ``random`` module state or a cached
+                            deterministic generator
+RP302     shared-mutable-in-worker  no worker-reachable touch of module/
+                            class-level mutable state outside the
+                            read-only whitelist
+RP303     secret-over-pickle        no secret crossing the task-shard /
+                            pickle boundary without the bytes-only
+                            shard sanitizer
+RP304     fork-unsafe-lazy-init     no process-global first-touch init
+                            reachable from both sides of the fork
+RP305     nondeterministic-chunk-order  no worker-result merge through
+                            set/dict/completion order
 ========  ================  ====================================================
 
 RP1xx are single-node pattern rules (:mod:`repro.lint.rules`); RP2xx
 come from the whole-program taint analysis (:mod:`repro.lint.flow`),
 which propagates a CLEAN < DERIVED < SECRET lattice through function
 summaries to a fixpoint and reports at the call site that supplies the
-secret, however many calls separate it from the sink.
+secret, however many calls separate it from the sink; RP3xx come from
+the concurrency/fork-safety pass (:mod:`repro.lint.conc`), which
+reuses the same call graph to decide what runs inside worker processes
+and checks the process-global state it touches.
 
 Suppression is explicit and reviewable: an inline
 ``# lint: allow[rule-name] justification`` waiver on (or directly
@@ -49,7 +65,8 @@ See ``docs/STATIC_ANALYSIS.md`` for the rule-by-rule rationale.
 
 from __future__ import annotations
 
-from repro.lint.baseline import format_baseline, load_baseline
+from repro.lint.baseline import format_baseline, load_baseline, update_baseline
+from repro.lint.conc import CONC_RULES
 from repro.lint.engine import (
     LintReport,
     lint_paths,
@@ -62,6 +79,7 @@ from repro.lint.rules import ALL_RULES, all_rule_ids, get_rule
 
 __all__ = [
     "ALL_RULES",
+    "CONC_RULES",
     "FLOW_RULES",
     "Finding",
     "LintReport",
@@ -72,4 +90,5 @@ __all__ = [
     "lint_source",
     "load_baseline",
     "split_by_baseline",
+    "update_baseline",
 ]

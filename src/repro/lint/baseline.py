@@ -56,3 +56,48 @@ def format_baseline(findings: list[Finding]) -> str:
         for finding in sorted(findings, key=lambda f: (f.path, f.line, f.rule))
     )
     return _HEADER + body
+
+
+def update_baseline(path: str | Path, findings: list[Finding]) -> tuple[int, int]:
+    """Regenerate the baseline *in place*, preserving annotations.
+
+    Unlike ``format_baseline`` (which rewrites from scratch), this
+    keeps every existing entry line verbatim — including its trailing
+    ``# justification`` comment — as long as its fingerprint still
+    occurs, drops entries that no longer occur (stale), and appends
+    entries for findings not yet baselined.  Returns
+    ``(added, removed)`` counts.
+    """
+    path = Path(path)
+    current = {finding.fingerprint for finding in findings}
+    kept: list[str] = []
+    seen: set[str] = set()
+    removed = 0
+    header_lines = _HEADER.splitlines()
+    if path.exists():
+        for raw in path.read_text().splitlines():
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                if raw.strip() and raw.strip() not in header_lines:
+                    kept.append(raw)  # a standalone comment: keep it
+                continue
+            parts = line.split()
+            if len(parts) != 4:
+                raise ValueError(f"malformed baseline line: {raw!r}")
+            fingerprint = "|".join(parts)
+            if fingerprint in current:
+                kept.append(raw)
+                seen.add(fingerprint)
+            else:
+                removed += 1
+    additions = sorted(
+        " ".join(finding.fingerprint.split("|"))
+        for finding in findings
+        if finding.fingerprint not in seen
+    )
+    # A finding may repeat across the list (it cannot, per fingerprint,
+    # but be safe): dedupe while preserving order.
+    unique_additions = list(dict.fromkeys(additions))
+    body = "".join(line + "\n" for line in (*kept, *unique_additions))
+    path.write_text(_HEADER + body)
+    return len(unique_additions), removed

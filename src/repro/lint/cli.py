@@ -13,7 +13,8 @@ import json
 import sys
 from pathlib import Path
 
-from repro.lint.baseline import format_baseline, load_baseline
+from repro.lint.baseline import format_baseline, load_baseline, update_baseline
+from repro.lint.conc import CONC_RULES
 from repro.lint.engine import LintReport, lint_paths, run
 from repro.lint.flow import FLOW_RULES
 from repro.lint.rules import ALL_RULES
@@ -44,6 +45,19 @@ def _build_parser() -> argparse.ArgumentParser:
         "--write-baseline",
         action="store_true",
         help="rewrite the baseline file to grandfather all current findings",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="regenerate the baseline file in place: keep entries (and "
+        "their trailing justification comments) whose findings still "
+        "occur, drop stale ones, append new ones",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule-id prefixes to report (e.g. "
+        "'RP3' or 'RP301,RP302'); the baseline is scoped the same way",
     )
     parser.add_argument(
         "--check-baseline",
@@ -123,7 +137,7 @@ def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
 
     if args.list_rules:
-        for rule in (*ALL_RULES, *FLOW_RULES):
+        for rule in (*ALL_RULES, *FLOW_RULES, *CONC_RULES):
             print(f"{rule.id} {rule.name}: {rule.rationale}")
         return 0
 
@@ -132,10 +146,32 @@ def main(argv: list[str] | None = None) -> int:
         print(f"repro.lint: no such path: {', '.join(missing)}", file=sys.stderr)
         return 2
 
+    select: tuple[str, ...] | None = None
+    if args.select:
+        select = tuple(
+            part.strip() for part in args.select.split(",") if part.strip()
+        )
+        if not select:
+            print("repro.lint: --select given but names no rules", file=sys.stderr)
+            return 2
+
     if args.write_baseline:
         findings, _, _ = lint_paths(args.paths)
         Path(args.baseline).write_text(format_baseline(findings))
         print(f"wrote {len(findings)} grandfathered finding(s) to {args.baseline}")
+        return 0
+
+    if args.update_baseline:
+        findings, _, _ = lint_paths(args.paths)
+        try:
+            added, removed = update_baseline(args.baseline, findings)
+        except ValueError as exc:
+            print(f"repro.lint: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"updated {args.baseline}: {added} entr(ies) added, "
+            f"{removed} stale entr(ies) removed"
+        )
         return 0
 
     try:
@@ -143,7 +179,7 @@ def main(argv: list[str] | None = None) -> int:
     except ValueError as exc:
         print(f"repro.lint: {exc}", file=sys.stderr)
         return 2
-    report = run(args.paths, baseline)
+    report = run(args.paths, baseline, select=select)
 
     over_budget = (
         args.self_time_budget is not None and report.elapsed > args.self_time_budget

@@ -27,8 +27,9 @@ import re
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.lint.conc import analyze_concurrency
 from repro.lint.findings import Finding, attach_fingerprints
-from repro.lint.flow import analyze_program
+from repro.lint.flow import analyze_program, solve_program
 from repro.lint.rules import ALL_RULES, ModuleContext, Rule
 
 _WAIVER = re.compile(r"#\s*lint:\s*allow\[([^\]]+)\]")
@@ -115,10 +116,10 @@ def _all_waiver_tokens(lines: list[str]) -> list[tuple[int, str]]:
     """
     from repro.lint.rules import ALL_RULES
     from repro.lint.flow import FLOW_RULES
+    from repro.lint.conc import CONC_RULES
 
-    known = {rule.id for rule in (*ALL_RULES, *FLOW_RULES)} | {
-        rule.name for rule in (*ALL_RULES, *FLOW_RULES)
-    }
+    families = (*ALL_RULES, *FLOW_RULES, *CONC_RULES)
+    known = {rule.id for rule in families} | {rule.name for rule in families}
     out: list[tuple[int, str]] = []
     for number, text in enumerate(lines, start=1):
         match = _WAIVER.search(text)
@@ -184,10 +185,14 @@ def analyze_modules(
     for module in modules:
         by_path[module.path].extend(_module_rule_findings(module, rules))
     if flow:
-        flow_findings = analyze_program(
-            [(m.path, m.package_path, m.tree, m.lines) for m in modules]
-        )
-        for finding in flow_findings:
+        parsed = [(m.path, m.package_path, m.tree, m.lines) for m in modules]
+        # One index + one summary fixpoint feeds both whole-program
+        # passes: the taint report (RP2xx) and the fork-safety /
+        # concurrency report (RP3xx).
+        program = solve_program(parsed)
+        whole_program = analyze_program(parsed, program)
+        whole_program += analyze_concurrency(parsed, program)
+        for finding in whole_program:
             by_path.setdefault(finding.path, []).append(finding)
 
     findings: list[Finding] = []
@@ -218,6 +223,9 @@ def analyze_modules(
         findings.extend(
             attach_fingerprints(kept, module.lines, module.package_path or path)
         )
+    # Deterministic report order regardless of discovery or analysis
+    # phase ordering: two runs over the same tree must be byte-identical.
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule, f.message))
     return findings, waived, sorted(unused)
 
 
@@ -286,14 +294,35 @@ def split_by_baseline(
     return new, matched, sorted(remaining)
 
 
-def run(paths: list[str | Path], baseline: set[str] | None = None) -> LintReport:
-    """Full pipeline used by the CLI and the pytest gate."""
+def run(
+    paths: list[str | Path],
+    baseline: set[str] | None = None,
+    select: tuple[str, ...] | None = None,
+) -> LintReport:
+    """Full pipeline used by the CLI and the pytest gate.
+
+    ``select`` restricts the report to rule ids matching any of the
+    given prefixes (``("RP3",)`` keeps just the concurrency family);
+    the baseline is filtered the same way so entries for unselected
+    rules are neither matched nor reported stale.  Waiver bookkeeping
+    is not filtered — an unused waiver is stale regardless of scope.
+    """
     import time
 
     started = time.perf_counter()
     modules = parse_paths(paths)
     findings, waived, unused = analyze_modules(modules)
-    new, matched, stale = split_by_baseline(findings, baseline or set())
+    baseline = set(baseline or set())
+    if select:
+        findings = [
+            f for f in findings if any(f.rule.startswith(p) for p in select)
+        ]
+        baseline = {
+            fp
+            for fp in baseline
+            if any(fp.split("|", 1)[0].startswith(p) for p in select)
+        }
+    new, matched, stale = split_by_baseline(findings, baseline)
     return LintReport(
         new=new,
         baselined=matched,

@@ -33,6 +33,7 @@ from repro.lint.flow.analysis import (
     FLOW_RULES,
     FlowRuleMeta,
     analyze_program,
+    solve_program,
 )
 from repro.lint.flow.lattice import CLEAN, DERIVED, SECRET, Taint
 
@@ -45,4 +46,5 @@ __all__ = [
     "SECRET",
     "Taint",
     "analyze_program",
+    "solve_program",
 ]

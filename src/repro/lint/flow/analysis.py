@@ -109,6 +109,10 @@ class ProgramAnalysis:
         self.summaries: dict[int, Summary] = {}
         self.findings: list[Finding] = []
         self._seen: set[tuple[str, int, int, str, str]] = set()
+        # (pseudo FunctionInfo, module tree) pairs, filled by
+        # solve_program — kept so reporting passes (flow *and* conc)
+        # can revisit module top-level code.
+        self.pseudo_functions: list[tuple[FunctionInfo, ast.Module]] = []
 
     # -- transfer-facing API ------------------------------------------------
 
@@ -266,26 +270,41 @@ def _check_dataclass_reprs(
             )
 
 
-def analyze_program(
+def solve_program(
     modules: "list[tuple[str, str, ast.Module, list[str]]]",
-) -> list[Finding]:
-    """Run the interprocedural taint analysis over parsed modules.
+) -> ProgramAnalysis:
+    """Index the modules and iterate summaries to a fixpoint.
 
-    ``modules`` is a list of ``(path, package_path, tree, lines)``;
-    returns flow findings (without fingerprints — the engine attaches
-    those alongside the per-module rule findings).
+    ``modules`` is a list of ``(path, package_path, tree, lines)``.
+    The returned analysis carries the solved summary table but no
+    findings yet; hand it to :func:`analyze_program` for the flow
+    report, or to ``repro.lint.conc.analyze_concurrency`` — both reuse
+    the one index and fixpoint instead of recomputing them.
     """
     index = ProgramIndex()
-    pseudo_functions: list[tuple[FunctionInfo, ast.Module]] = []
+    analysis = ProgramAnalysis(index)
     for path, package_path, tree, lines in modules:
         index.add_module(path, package_path, tree, lines)
         pseudo = _module_pseudo_function(path, package_path, tree, lines)
         index.all_functions.append(pseudo)
-        pseudo_functions.append((pseudo, tree))
-
-    analysis = ProgramAnalysis(index)
+        analysis.pseudo_functions.append((pseudo, tree))
     analysis.solve()
+    return analysis
+
+
+def analyze_program(
+    modules: "list[tuple[str, str, ast.Module, list[str]]]",
+    program: ProgramAnalysis | None = None,
+) -> list[Finding]:
+    """Run the interprocedural taint analysis over parsed modules.
+
+    Returns flow findings (without fingerprints — the engine attaches
+    those alongside the per-module rule findings).  ``program`` may be
+    a pre-solved analysis from :func:`solve_program`; omitted, one is
+    solved here.
+    """
+    analysis = program or solve_program(modules)
     analysis.report()
-    for pseudo, tree in pseudo_functions:
+    for pseudo, tree in analysis.pseudo_functions:
         _check_dataclass_reprs(analysis, pseudo, tree)
     return analysis.findings

@@ -26,22 +26,29 @@ ALL_RULES: tuple[Rule, ...] = (
 
 
 def all_rule_ids() -> tuple[str, ...]:
-    """Every rule id the engine can report: AST rules + flow families."""
+    """Every rule id the engine can report: AST rules + whole-program
+    families (flow RP2xx, concurrency RP3xx)."""
+    from repro.lint.conc import CONC_RULE_IDS
     from repro.lint.flow import FLOW_RULE_IDS
 
-    return tuple(rule.id for rule in ALL_RULES) + tuple(FLOW_RULE_IDS)
+    return (
+        tuple(rule.id for rule in ALL_RULES)
+        + tuple(FLOW_RULE_IDS)
+        + tuple(CONC_RULE_IDS)
+    )
 
 
 def get_rule(identifier: str):
-    """Look a rule up by id ("RP101"/"RP202") or name ("rng-discipline").
+    """Look a rule up by id ("RP101"/"RP302") or name ("rng-discipline").
 
     Returns a :class:`Rule` for the AST rules or a
-    :class:`repro.lint.flow.FlowRuleMeta` for the flow families — both
-    carry ``id``, ``name``, ``rationale`` and ``hint``.
+    :class:`repro.lint.flow.FlowRuleMeta` for the flow and concurrency
+    families — both carry ``id``, ``name``, ``rationale`` and ``hint``.
     """
+    from repro.lint.conc import CONC_RULES
     from repro.lint.flow import FLOW_RULES
 
-    for rule in (*ALL_RULES, *FLOW_RULES):
+    for rule in (*ALL_RULES, *FLOW_RULES, *CONC_RULES):
         if identifier in (rule.id, rule.name):
             return rule
     raise KeyError(f"unknown lint rule {identifier!r}")

@@ -3,8 +3,8 @@
 Static Analysis Results Interchange Format output lets CI surfaces
 (code-scanning dashboards, editor SARIF viewers) ingest repro.lint
 findings without bespoke glue.  One run, one tool (``repro.lint``),
-every RP1xx/RP2xx rule declared in the driver; new findings are plain
-results, baselined findings are included but marked suppressed so
+every RP1xx/RP2xx/RP3xx rule declared in the driver; new findings are
+plain results, baselined findings are included but marked suppressed so
 dashboards show them greyed-out rather than resurfacing them.
 """
 
@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import json
 
+from repro.lint.conc import CONC_RULES
 from repro.lint.engine import LintReport
 from repro.lint.findings import Finding
 from repro.lint.flow import FLOW_RULES
@@ -37,7 +38,7 @@ def _rule_descriptors() -> list[dict]:
                 "defaultConfiguration": {"level": "error"},
             }
         )
-    for meta in FLOW_RULES:
+    for meta in (*FLOW_RULES, *CONC_RULES):
         descriptors.append(
             {
                 "id": meta.id,

@@ -21,7 +21,9 @@ Example::
 
 from __future__ import annotations
 
+import os
 import random
+import weakref
 
 from repro.ec.point import CurvePoint
 from repro.ec.precompute import FixedBaseTable
@@ -140,6 +142,27 @@ class PairingPrecomputation:
         return f"PairingPrecomputation({kind}, steps={len(self.lines or ())})"
 
 
+# Every live group, so forked children can drop precomputation caches
+# they inherited from the parent.  The caches are pure accelerators
+# (byte-identical results with or without them), but letting a child
+# keep probing — and lazily extending — a copy-on-write copy of the
+# parent's tables means parent and child caches silently diverge, and
+# each lazy extension forces a private page copy.  Clearing in the
+# child is the fork-safe discipline (lint rules RP302/RP304); entries
+# are weak so the registry never extends a group's lifetime.
+_LIVE_GROUPS: "weakref.WeakSet[PairingGroup]" = weakref.WeakSet()
+
+
+def _clear_caches_after_fork() -> None:
+    """At-fork child hook: each group rebuilds caches on demand."""
+    for group in _LIVE_GROUPS:
+        group.clear_precomputations()
+
+
+if hasattr(os, "register_at_fork"):  # not available on all platforms
+    os.register_at_fork(after_in_child=_clear_caches_after_fork)
+
+
 class PairingGroup:
     """A symmetric pairing group ``ê : G1 × G1 → GT`` with hashing.
 
@@ -172,6 +195,11 @@ class PairingGroup:
         # calls; mul/pair probe them with a dict lookup per call.
         self._fixed_base: dict[CurvePoint, FixedBaseTable] = {}
         self._pairing_precomp: dict[CurvePoint, PairingPrecomputation] = {}
+        # lint: allow[RP302] per-process bookkeeping by design: every
+        # process tracks the groups *it* constructed so the at-fork hook
+        # can clear inherited caches; divergence across processes is the
+        # point, and WeakSet entries die with their groups
+        _LIVE_GROUPS.add(self)
 
     # ------------------------------------------------------------------
     # Scalars.

@@ -85,9 +85,35 @@ def task_names() -> list[str]:
 
 # ----------------------------------------------------------------------
 # Per-worker pairing-group cache.
+#
+# Lazily populated on each worker's first chunk and reset in forked
+# children by the hook below, so a worker never decides it "already
+# has" a group that was actually built (caches, counters and all) by
+# the parent before the fork.
 # ----------------------------------------------------------------------
 
 _WORKER_GROUPS: dict[tuple, PairingGroup] = {}
+
+if hasattr(os, "register_at_fork"):  # not available on all platforms
+    os.register_at_fork(after_in_child=_WORKER_GROUPS.clear)
+
+
+def shard_secret(blob: bytes) -> bytes:
+    """Mark an encoded secret as cleared to cross the shard boundary.
+
+    The audited chokepoint for secret material entering
+    :func:`parallel_map` setup/payload blobs (lint rule RP303): it
+    accepts *bytes only* — already wire-encoded by the caller — so a
+    secret can never cross to workers as a pickled object graph, where
+    copies would land in pool pipes and worker heaps beyond the
+    library's reach.  The bytes pass through unchanged.
+    """
+    if not isinstance(blob, bytes):
+        raise ParameterError(
+            "shard_secret clears bytes across the worker boundary; got "
+            f"{type(blob).__name__} — encode the secret first"
+        )
+    return blob
 
 
 def _group_spec(group: PairingGroup) -> tuple:

@@ -1,0 +1,28 @@
+# lint-fixture: svc/conc_lazy_init.py
+"""RP304 positive: a process-global cache first-touch initialized by a
+helper reachable from both the registered worker task and the
+parent-side dispatcher — whether a child inherits the parent's engine
+depends on when the fork happened."""
+
+from repro.parallel import parallel_map, register_task
+
+_ENGINES = {}
+
+
+def _engine_for(name):
+    engine = _ENGINES.get(name)
+    if engine is None:
+        engine = {"name": name}
+        _ENGINES[name] = engine  # EXPECT[RP304]
+    return engine
+
+
+@register_task("svc.render")
+def render_chunk(group, setup, chunk):
+    engine = _engine_for("fast")
+    return [bytes([len(engine["name"]) & 0xFF]) for _ in chunk]
+
+
+def warm_and_render(group, payloads):
+    _engine_for("fast")  # parent touches the cache before forking
+    return parallel_map("svc.render", group, b"", payloads, workers=2)

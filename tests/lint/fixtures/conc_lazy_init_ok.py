@@ -1,0 +1,32 @@
+# lint-fixture: svc/conc_lazy_init_ok.py
+"""RP304 negative: the same dual-reachable lazy-init shape is
+sanctioned once an ``os.register_at_fork`` hook resets the global in
+forked children — the child's first touch rebuilds instead of
+inheriting."""
+
+import os
+
+from repro.parallel import parallel_map, register_task
+
+_ENGINES = {}
+
+os.register_at_fork(after_in_child=_ENGINES.clear)
+
+
+def _engine_for(name):
+    engine = _ENGINES.get(name)
+    if engine is None:
+        engine = {"name": name}
+        _ENGINES[name] = engine  # guarded: rebuilt per process
+    return engine
+
+
+@register_task("svc.render2")
+def render_chunk(group, setup, chunk):
+    engine = _engine_for("fast")
+    return [bytes([len(engine["name"]) & 0xFF]) for _ in chunk]
+
+
+def warm_and_render(group, payloads):
+    _engine_for("fast")
+    return parallel_map("svc.render2", group, b"", payloads, workers=2)

@@ -1,0 +1,23 @@
+# lint-fixture: svc/conc_rng_bad.py
+"""RP301 positives: worker-reachable draws from fork-duplicated RNG
+state — the stdlib `random` module generator (directly and through a
+helper) and a cached module-level `Random` instance."""
+
+import random
+
+from repro.parallel import register_task
+
+_SHARED_RNG = random.Random(1234)
+
+
+@register_task("svc.sample")
+def sample_chunk(group, setup, chunk):
+    delay = _backoff()
+    pick = _SHARED_RNG.getrandbits(64)  # EXPECT[RP301]
+    shift = random.randrange(1 << 16)  # EXPECT[RP301]
+    return [setup + bytes([(pick ^ shift ^ delay) & 0xFF]) for _ in chunk]
+
+
+def _backoff():
+    # Reached only through the registered task — still worker code.
+    return int(random.random() * 100)  # EXPECT[RP301]

@@ -1,0 +1,30 @@
+# lint-fixture: svc/conc_rng_ok.py
+"""RP301 negatives: the sanctioned worker randomness patterns — the
+kernel-CSPRNG-backed per-process rng, a locally constructed
+SystemRandom, and a cached deterministic generator that an
+``os.register_at_fork`` hook reseeds in every forked child."""
+
+import os
+import random
+
+from repro.crypto.rng import process_rng
+from repro.parallel import register_task
+
+_CACHED = random.Random(99)
+
+
+def _reseed_cached():
+    global _CACHED
+    _CACHED = random.Random(os.urandom(8))
+
+
+os.register_at_fork(after_in_child=_reseed_cached)
+
+
+@register_task("svc.safe")
+def safe_chunk(group, setup, chunk):
+    rng = process_rng()  # kernel CSPRNG: nothing to duplicate
+    nonce = rng.randrange(1 << 32)
+    jitter = _CACHED.getrandbits(32)  # fork-guarded cache: clean
+    salt = random.SystemRandom().randbytes(8)
+    return [setup + salt + bytes([(nonce ^ jitter) & 0xFF]) for _ in chunk]

@@ -1,0 +1,25 @@
+# lint-fixture: svc/conc_shard_bad.py
+"""RP303 positives: secret values crossing the task-shard / pickle
+boundary — a secret-derived local through `parallel_map` setup, and a
+raw secret argument through an executor dispatch."""
+
+from repro.parallel import parallel_map
+
+
+def ship(group, private_scalar, payloads):
+    setup = private_scalar.to_bytes(32, "big")
+    return parallel_map(
+        "svc.audit",
+        group,
+        setup,  # EXPECT[RP303]
+        payloads,
+        workers=4,
+    )
+
+
+def offload(executor, user_sk, items):
+    return executor.submit(_rekey, user_sk, items)  # EXPECT[RP303]
+
+
+def _rekey(user_sk, items):
+    return [user_sk ^ item for item in items]

@@ -1,0 +1,16 @@
+# lint-fixture: svc/conc_shard_ok.py
+"""RP303 negatives: the audited crossings — wire-encoded bytes through
+`shard_secret`, and a KDF output (no longer the secret) as setup."""
+
+from repro.crypto.kdf import derive_key
+from repro.parallel import parallel_map, shard_secret
+
+
+def ship(group, private_scalar, payloads):
+    setup = shard_secret(private_scalar.to_bytes(32, "big"))
+    return parallel_map("svc.audit", group, setup, payloads, workers=4)
+
+
+def ship_derived(group, private_scalar, payloads):
+    shard_key = derive_key(private_scalar.to_bytes(32, "big"), 32, "svc:shard")
+    return parallel_map("svc.audit", group, shard_key, payloads, workers=4)

@@ -1,0 +1,27 @@
+# lint-fixture: svc/conc_shared_state.py
+"""RP302 positives and negatives: worker-reachable writes to module-
+and class-level mutable state fire; reads of whitelisted write-once
+registries and purely parent-side access stay quiet."""
+
+from repro.parallel import register_task
+
+_RESULT_LOG = []
+_TASKS = {"svc.audit": True}  # shares the whitelisted registry name
+
+
+class Registry:
+    table = {}
+
+
+@register_task("svc.audit")
+def audit_chunk(group, setup, chunk):
+    for blob in chunk:
+        _RESULT_LOG.append(blob)  # EXPECT[RP302]
+    Registry.table["last"] = len(chunk)  # EXPECT[RP302]
+    allowed = _TASKS.get("svc.audit")  # read-only whitelist: clean
+    return [b"\x01" if allowed else b"\x00" for _ in chunk]
+
+
+def tally():
+    # Parent-only code may touch the log freely.
+    return len(_RESULT_LOG)

@@ -1,0 +1,30 @@
+# lint-fixture: svc/conc_unordered.py
+"""RP305 positives and negative: worker results merged through set
+iteration order or a completion-order stream fire; keeping the pool's
+submission order is clean."""
+
+from multiprocessing import Pool
+
+
+def collect_unordered(jobs):
+    with Pool(4) as pool:
+        results = pool.map(_work, jobs)
+        unique = set(results)  # EXPECT[RP305]
+        for item in pool.imap_unordered(_work, jobs):  # EXPECT[RP305]
+            unique.add(item)
+    return unique
+
+
+def collect_wrapped(jobs):
+    with Pool(4) as pool:
+        return set(pool.map(_work, jobs))  # EXPECT[RP305]
+
+
+def collect_ordered(jobs):
+    with Pool(4) as pool:
+        results = pool.map(_work, jobs)  # submission order: clean
+    return list(results)
+
+
+def _work(job):
+    return job * 2

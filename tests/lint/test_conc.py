@@ -1,0 +1,331 @@
+"""Tests for the concurrency / fork-safety analysis (RP301–RP305).
+
+Single-file behavior is covered by the ``conc_*`` fixtures through the
+shared harness in ``test_rules.py``; this module exercises what that
+harness cannot: worker-reachability across module boundaries, the
+composition of RP303 with the taint lattice, byte-for-byte determinism
+of the whole report, and the CLI surface that rides along
+(``--update-baseline``, ``--select``).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.lint import lint_source
+from repro.lint.cli import main
+from repro.lint.engine import analyze_modules, parse_module, run
+
+FIXTURES = Path(__file__).parent / "fixtures"
+_HEADER = re.compile(r"#\s*lint-fixture:\s*(\S+)")
+
+
+# -- worker reachability across modules --------------------------------------
+
+_TASKS_SRC = (
+    "from repro.parallel import register_task\n"
+    "\n"
+    "from svc.jitter import backoff\n"
+    "\n"
+    "\n"
+    '@register_task("svc.chunk")\n'
+    "def run_chunk(group, setup, chunk):\n"
+    "    backoff()\n"
+    "    return [bytes(item) for item in chunk]\n"
+)
+
+_JITTER_SRC = (
+    "import random\n"
+    "\n"
+    "\n"
+    "def backoff():\n"
+    "    return int(random.random() * 100)\n"
+)
+
+
+def test_worker_reachability_crosses_module_boundaries():
+    """A helper in another module, called from a registered task, is
+    worker code — its ambient RNG draw fires RP301 where it happens."""
+    modules = [
+        parse_module(_TASKS_SRC, "tasks.py", "svc/tasks.py"),
+        parse_module(_JITTER_SRC, "jitter.py", "svc/jitter.py"),
+    ]
+    findings, _, _ = analyze_modules(modules)
+    (finding,) = findings
+    assert finding.rule == "RP301"
+    assert finding.path == "jitter.py"
+    assert "backoff" in finding.message
+    assert "run_chunk" in finding.message  # names the task that reaches it
+
+
+def test_helper_alone_is_quiet():
+    """The same helper in isolation is not worker-reachable — the
+    finding only exists as a whole-program property."""
+    findings, _ = lint_source(_JITTER_SRC, "jitter.py", package_path="svc/jitter.py")
+    assert not findings
+
+
+def test_pool_dispatch_target_roots_the_worker_set():
+    """``pool.map(crunch, ...)`` makes ``crunch`` worker code even
+    without a ``@register_task`` decorator — across modules."""
+    driver = (
+        "from multiprocessing import Pool\n"
+        "\n"
+        "from svc.jobs import crunch\n"
+        "\n"
+        "\n"
+        "def fan_out(jobs):\n"
+        "    with Pool(2) as pool:\n"
+        "        return pool.map(crunch, jobs)\n"
+    )
+    jobs = (
+        "import random\n"
+        "\n"
+        "\n"
+        "def crunch(job):\n"
+        "    return job * random.getrandbits(8)\n"
+    )
+    modules = [
+        parse_module(driver, "driver.py", "svc/driver.py"),
+        parse_module(jobs, "jobs.py", "svc/jobs.py"),
+    ]
+    findings, _, _ = analyze_modules(modules)
+    (finding,) = findings
+    assert finding.rule == "RP301"
+    assert finding.path == "jobs.py"
+    assert "fan_out" in finding.message  # names the dispatching call site
+
+
+def test_rp303_composes_with_flow_summaries():
+    """The secret crossing the shard boundary is recognized through a
+    callee summary, not just a literal source call at the boundary."""
+    src = (
+        "from repro.parallel import parallel_map\n"
+        "\n"
+        "\n"
+        "def fresh_secret(group, rng):\n"
+        "    return random_scalar(rng)\n"
+        "\n"
+        "\n"
+        "def ship(group, rng, payloads):\n"
+        "    blob = fresh_secret(group, rng)\n"
+        '    return parallel_map("svc.audit", group, blob, payloads, workers=2)\n'
+    )
+    findings, _ = lint_source(src, "ship.py", package_path="svc/ship.py")
+    assert [f.rule for f in findings] == ["RP303"]
+    assert "blob" in findings[0].message
+
+
+def test_worker_only_lazy_init_is_quiet():
+    """A cache populated only *inside* workers is per-process state —
+    RP304 needs reachability from both sides of the fork."""
+    src = (
+        "from repro.parallel import register_task\n"
+        "\n"
+        "_CACHE = {}\n"
+        "\n"
+        "\n"
+        "def _lookup(name):\n"
+        "    value = _CACHE.get(name)\n"
+        "    if value is None:\n"
+        "        value = name.upper()\n"
+        "        _CACHE[name] = value\n"
+        "    return value\n"
+        "\n"
+        "\n"
+        '@register_task("svc.lookup")\n'
+        "def task(group, setup, chunk):\n"
+        "    return [_lookup(str(item)) for item in chunk]\n"
+    )
+    findings, _ = lint_source(src, "cache.py", package_path="svc/cache.py")
+    assert not findings
+
+
+def test_waiver_suppresses_conc_finding():
+    src = (
+        "from repro.parallel import register_task\n"
+        "\n"
+        "_LOG = []\n"
+        "\n"
+        "\n"
+        '@register_task("svc.audit2")\n'
+        "def task(group, setup, chunk):\n"
+        "    # lint: allow[RP302] test-only accumulator, inspected in-process\n"
+        "    _LOG.append(len(chunk))\n"
+        "    return list(chunk)\n"
+    )
+    findings, waived = lint_source(src, "log.py", package_path="svc/log.py")
+    assert not findings
+    assert waived == 1
+
+
+# -- determinism (the regression the baseline depends on) --------------------
+
+
+def _render_report(report) -> str:
+    return "\n".join(
+        f"{f.path}|{f.line}|{f.col}|{f.rule}|{f.fingerprint}|{f.message}"
+        for f in report.new
+    )
+
+
+def test_engine_output_is_byte_identical_across_runs():
+    """Two runs over the same tree must render byte-for-byte the same —
+    fingerprints, order, messages.  The baseline format relies on it."""
+    first = run([str(FIXTURES)])
+    second = run([str(FIXTURES)])
+    rendered = _render_report(first)
+    assert rendered  # the fixture tree is intentionally dirty
+    assert rendered.encode() == _render_report(second).encode()
+
+
+def test_module_discovery_order_does_not_change_the_report():
+    """Reversing the parse order must not reorder or change findings:
+    the report is a function of the program, not of ``rglob`` order."""
+    modules = []
+    for path in sorted(FIXTURES.rglob("*.py")):
+        source = path.read_text(encoding="utf-8")
+        header = _HEADER.match(source.splitlines()[0])
+        assert header, f"{path.name} must start with '# lint-fixture: <path>'"
+        modules.append(parse_module(source, path.as_posix(), header.group(1)))
+    forward, _, _ = analyze_modules(modules)
+    backward, _, _ = analyze_modules(list(reversed(modules)))
+    key = lambda f: (f.path, f.line, f.col, f.rule, f.fingerprint, f.message)
+    assert [key(f) for f in forward] == [key(f) for f in backward]
+    assert forward  # non-vacuous
+
+
+# -- CLI: --update-baseline and --select -------------------------------------
+
+DIRTY_CONC = (
+    "import random\n"
+    "\n"
+    "from repro.parallel import register_task\n"
+    "\n"
+    "\n"
+    '@register_task("svc.demo")\n'
+    "def demo(group, setup, chunk):\n"
+    "    return [random.random() for _ in chunk]\n"
+)
+
+CLEAN_CONC = (
+    "from repro.parallel import register_task\n"
+    "\n"
+    "\n"
+    '@register_task("svc.demo")\n'
+    "def demo(group, setup, chunk):\n"
+    "    return list(chunk)\n"
+)
+
+
+def _module(tmp_path: Path, subdir: str, name: str, source: str) -> str:
+    path = tmp_path / "repro" / subdir / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    return str(path)
+
+
+def test_update_baseline_creates_then_gates_clean(tmp_path, capsys) -> None:
+    target = _module(tmp_path, "sim", "demo.py", DIRTY_CONC)
+    baseline = tmp_path / "baseline.txt"
+    assert main([target, "--baseline", str(baseline), "--update-baseline"]) == 0
+    assert "1 entr(ies) added" in capsys.readouterr().out
+    assert "RP301" in baseline.read_text()
+    assert main([target, "--baseline", str(baseline)]) == 0
+
+
+def test_update_baseline_preserves_comments_and_drops_stale(tmp_path, capsys) -> None:
+    demo = _module(tmp_path, "sim", "demo.py", DIRTY_CONC)
+    extra = _module(tmp_path, "sim", "extra.py", DIRTY_CONC)
+    baseline = tmp_path / "baseline.txt"
+    assert main([demo, "--baseline", str(baseline), "--update-baseline"]) == 0
+
+    # Annotate the surviving entry the way a reviewer would.
+    annotated = [
+        line + "  # justified: legacy seed" if line.startswith("RP301") else line
+        for line in baseline.read_text().splitlines()
+    ]
+    baseline.write_text("\n".join(annotated) + "\n")
+
+    # A second dirty file: its entry is appended, the annotation stays.
+    assert main([demo, extra, "--baseline", str(baseline), "--update-baseline"]) == 0
+    assert "1 entr(ies) added, 0 stale entr(ies) removed" in capsys.readouterr().out
+    assert "# justified: legacy seed" in baseline.read_text()
+
+    # Fixing demo.py drops its entry — annotation and all — keeps extra's.
+    Path(demo).write_text(CLEAN_CONC)
+    assert main([demo, extra, "--baseline", str(baseline), "--update-baseline"]) == 0
+    assert "1 stale entr(ies) removed" in capsys.readouterr().out
+    text = baseline.read_text()
+    assert "# justified: legacy seed" not in text
+    assert "sim/extra.py" in text
+    assert "sim/demo.py" not in text
+
+
+def test_malformed_baseline_under_update_is_usage_error(tmp_path, capsys) -> None:
+    target = _module(tmp_path, "sim", "demo.py", DIRTY_CONC)
+    baseline = tmp_path / "baseline.txt"
+    baseline.write_text("not a valid entry line\n")
+    assert main([target, "--baseline", str(baseline), "--update-baseline"]) == 2
+    assert "malformed baseline line" in capsys.readouterr().err
+
+
+MIXED = (
+    "import random\n"
+    "\n"
+    "from repro.parallel import register_task\n"
+    "\n"
+    "\n"
+    "def verify(tag, expected):\n"
+    "    return tag == expected\n"
+    "\n"
+    "\n"
+    '@register_task("svc.mix")\n'
+    "def demo(group, setup, chunk):\n"
+    "    return [random.random() for _ in chunk]\n"
+)
+
+
+def test_select_reports_only_the_named_family(tmp_path, capsys) -> None:
+    target = _module(tmp_path, "crypto", "mixed.py", MIXED)
+    assert main([target, "--no-baseline", "--select", "RP3"]) == 1
+    out = capsys.readouterr().out
+    assert "RP301" in out
+    assert "RP102" not in out
+    assert "RP101" not in out
+
+
+def test_select_scopes_the_baseline_the_same_way(tmp_path, capsys) -> None:
+    """Out-of-scope baseline entries are neither matched nor stale, so a
+    family-scoped CI job does not trip over the other families' state."""
+    target = _module(tmp_path, "crypto", "mixed.py", MIXED)
+    baseline = tmp_path / "baseline.txt"
+    assert main([target, "--baseline", str(baseline), "--write-baseline"]) == 0
+    assert main([target, "--baseline", str(baseline), "--select", "RP3"]) == 0
+    out = capsys.readouterr().out
+    assert "stale baseline entry" not in out  # RP1xx entries not reported stale
+
+
+def test_empty_select_is_usage_error(capsys) -> None:
+    assert main(["--select", " , "]) == 2
+    assert "names no rules" in capsys.readouterr().err
+
+
+def test_list_rules_includes_conc_family(capsys) -> None:
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("RP301", "RP302", "RP303", "RP304", "RP305"):
+        assert rule_id in out
+
+
+def test_sarif_includes_conc_descriptors_and_results(tmp_path, capsys) -> None:
+    import json
+
+    target = _module(tmp_path, "sim", "demo.py", DIRTY_CONC)
+    assert main([target, "--no-baseline", "--format", "sarif"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    (sarif_run,) = payload["runs"]
+    rule_ids = {rule["id"] for rule in sarif_run["tool"]["driver"]["rules"]}
+    assert {"RP301", "RP302", "RP303", "RP304", "RP305"} <= rule_ids
+    assert {result["ruleId"] for result in sarif_run["results"]} == {"RP301"}
