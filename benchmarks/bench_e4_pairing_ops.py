@@ -112,6 +112,67 @@ def test_e4_multi_pair_op_counts(benchmark):
     benchmark(lambda: None)
 
 
+def test_e4_gt_fast_path_op_counts(benchmark):
+    """E4c — the sender GT fast path *eliminates* primary operations.
+
+    A cold §5.1 encryption pays a hash-to-curve, two scalar
+    multiplications and a pairing; with the (receiver, T) pairing
+    cached, the same byte-identical ciphertext costs one fixed-base
+    multiplication and one table-driven GT exponentiation.  Asserted
+    against the symbolic budgets so the collapse can never silently
+    regress.
+    """
+    from repro.analysis.costmodel import TRE_COST, TRE_GT_ENCRYPT_COST
+    from repro.core.keys import ServerKeyPair, UserKeyPair
+    from repro.core.tre import TimedReleaseScheme
+
+    group = PairingGroup("toy64", family="A")  # fresh: no warm caches
+    rng = seeded_rng("e4-gt")
+    server = ServerKeyPair.generate(group, rng)
+    user = UserKeyPair.generate(group, server.public, rng)
+    scheme = TimedReleaseScheme(group)
+    label = b"e4-epoch"
+
+    with group.counters.measure() as cold_ops:
+        ct_cold = scheme.encrypt(
+            b"collapse", user.public, server.public, label, seeded_rng("e4r"),
+            verify_receiver_key=False,
+        )
+    scheme.precompute_sender(user.public, server.public, time_labels=[label])
+    with group.counters.measure() as warm_ops:
+        ct_warm = scheme.encrypt(
+            b"collapse", user.public, server.public, label, seeded_rng("e4r"),
+            verify_receiver_key=False,
+        )
+    assert ct_warm.to_bytes(group) == ct_cold.to_bytes(group)
+    assert cold_ops == TRE_COST.encrypt.as_dict()
+    assert warm_ops == TRE_GT_ENCRYPT_COST.as_dict()
+
+    rows = []
+    for path, ops, budget in (
+        ("direct", cold_ops, TRE_COST.encrypt),
+        ("GT fast path", warm_ops, TRE_GT_ENCRYPT_COST),
+    ):
+        rows.append((
+            path,
+            ops.get("pairing", 0),
+            ops.get("scalar_mult", 0),
+            ops.get("hash_to_group", 0),
+            ops.get("gt_exp", 0),
+            ops.get("gt_fixed_base", 0),
+            f"{budget.dominant_cost():.1f}",
+        ))
+    emit(format_table(
+        ("encrypt path", "pairings", "scalar mults", "H1", "GT exps",
+         "GT table hits", "dominant cost*"),
+        rows,
+        title="E4c: sender GT fast path — encryption collapses from a "
+              "pairing to one table-driven GT exponentiation "
+              "(*scalar-mult equivalents)",
+    ))
+    benchmark(lambda: None)
+
+
 def test_e4_claim_table(benchmark):
     rows = []
     for name in PARAM_NAMES:

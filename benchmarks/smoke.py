@@ -5,6 +5,11 @@ merges the results into ``BENCH_pairing.json``:
 
 * fixed-base table vs. generic ``scalar_mult``;
 * cached Miller lines vs. the full pairing;
+* windowed GT fixed-base table vs. plain unitary exponentiation;
+* warm-path TRE encryption (cached ``ê(asG, H1(T))`` + GT table) vs.
+  the cache-free cold path, at x1 and x{batch};
+* one N-recipient broadcast (shared ``U``, shared DEM payload) vs.
+  N per-recipient warm encrypts;
 * ``decrypt_batch`` over N same-label ciphertexts vs. N independent
   ``decrypt`` calls;
 * the multi-pairing verify path (one combined Miller loop, ONE final
@@ -90,6 +95,146 @@ def bench_pairing(group, rng, trajectory, rounds):
         group, "pairing", "precomputed", precomputed, rounds,
         batch=per, setup_ms=round(setup_s * 1000, 4), lines=len(lines),
     )
+    return d / f
+
+
+def bench_gt_exp(group, rng, trajectory, rounds):
+    """Windowed GT fixed-base table vs plain wNAF exponentiation.
+
+    The direct path clears the group's precomputations first, so
+    ``gt ** k`` runs the generic unitary exponentiation; the fast path
+    reads the table built by ``precompute_gt``.
+    """
+    gt = group.pair(group.random_point(rng), group.random_point(rng))
+    scalars = [group.random_scalar(rng) for _ in range(8)]
+
+    def direct():
+        group.clear_precomputations()
+        for k in scalars:
+            gt ** k
+
+    per = len(scalars)
+    d = trajectory.measure(group, "gt_exp", "direct", direct, rounds, batch=per)
+    setup_s = time_median(lambda: group.precompute_gt(gt), rounds=1)
+    table = group.precompute_gt(gt)
+
+    def fixed_base():
+        for k in scalars:
+            gt ** k
+
+    f = trajectory.measure(
+        group, "gt_exp", "fixed_base", fixed_base, rounds,
+        batch=per, setup_ms=round(setup_s * 1000, 4),
+        table_elements=table.table_elements,
+    )
+    group.clear_precomputations()
+    return d / f
+
+
+def bench_encrypt(group, rng, trajectory, rounds, batch):
+    """Sender GT fast path: cold encrypt vs warm (cached ê(asG, H1(T))).
+
+    Records ``encrypt_x1`` and ``encrypt_x{batch}``.  The direct
+    variant clears every cache inside the timed function; the warm
+    variant runs after ``precompute_sender(..., time_labels=[T])`` and
+    produces byte-identical ciphertexts (asserted with a replayed rng).
+    """
+    scheme = TimedReleaseScheme(group)
+    server = PassiveTimeServer(group, rng=rng)
+    user = UserKeyPair.generate(group, server.public_key, rng)
+    message = b"gt fast path payload" * 2
+
+    def encrypt_n(n):
+        for i in range(n):
+            scheme.encrypt(
+                message, user.public, server.public_key, RELEASE, rng,
+                verify_receiver_key=False,
+            )
+
+    def cold_n(n):
+        group.clear_precomputations()
+        scheme.clear_sender_cache()
+        encrypt_n(n)
+
+    ratios = {}
+    for n in (1, batch):
+        op = f"encrypt_x{n}"
+        d = trajectory.measure(
+            group, op, "direct", lambda: cold_n(n), rounds, batch=n
+        )
+        scheme.precompute_sender(
+            user.public, server.public_key, time_labels=[RELEASE]
+        )
+        f = trajectory.measure(
+            group, op, "gt_table", lambda: encrypt_n(n), rounds, batch=n
+        )
+        ratios[n] = d / f
+    # Byte-identity spot check: same seeded rng, cold vs warm.
+    check = seeded_rng("smoke:encrypt-identity")
+    warm_ct = scheme.encrypt(
+        message, user.public, server.public_key, RELEASE, check,
+        verify_receiver_key=False,
+    )
+    group.clear_precomputations()
+    scheme.clear_sender_cache()
+    check = seeded_rng("smoke:encrypt-identity")
+    cold_ct = scheme.encrypt(
+        message, user.public, server.public_key, RELEASE, check,
+        verify_receiver_key=False,
+    )
+    assert warm_ct.to_bytes(group) == cold_ct.to_bytes(group)
+    group.clear_precomputations()
+    return ratios
+
+
+def bench_encrypt_broadcast(group, rng, trajectory, rounds, batch):
+    """One broadcast to N recipients vs N per-recipient warm encrypts.
+
+    Both variants run with warm GT caches, so the entry isolates the
+    *structural* broadcast saving — one shared ``U = rG`` and one DEM
+    payload instead of N of each — not the (already measured) GT fast
+    path itself.
+    """
+    from repro.core.broadcast import BroadcastTimedReleaseScheme
+
+    server = PassiveTimeServer(group, rng=rng)
+    users = [
+        UserKeyPair.generate(group, server.public_key, rng)
+        for _ in range(batch)
+    ]
+    receivers = [u.public for u in users]
+    message = b"broadcast payload" * 4
+    scheme = TimedReleaseScheme(group)
+    broadcast = BroadcastTimedReleaseScheme(group)
+    for public in receivers:
+        scheme.precompute_sender(
+            public, server.public_key, time_labels=[RELEASE]
+        )
+    broadcast.precompute_sender(
+        receivers, server.public_key, time_labels=[RELEASE]
+    )
+
+    def per_recipient():
+        for public in receivers:
+            scheme.encrypt(
+                message, public, server.public_key, RELEASE, rng,
+                verify_receiver_key=False,
+            )
+
+    def broadcast_once():
+        broadcast.encrypt_broadcast(
+            message, receivers, server.public_key, RELEASE, rng,
+            verify_receiver_keys=False,
+        )
+
+    op = f"broadcast_x{batch}"
+    d = trajectory.measure(
+        group, op, "direct", per_recipient, rounds, batch=batch
+    )
+    f = trajectory.measure(
+        group, op, "shared_u", broadcast_once, rounds, batch=batch
+    )
+    group.clear_precomputations()
     return d / f
 
 
@@ -213,11 +358,18 @@ def run_all(group, rng, trajectory, rounds, batch, workers=None):
 
     Shared by the CLI below and ``benchmarks.trajectory --check``.
     """
+    encrypt_ratios = bench_encrypt(group, rng, trajectory, rounds, batch)
     return {
         "fixed-base scalar mult": bench_scalar_mult(
             group, rng, trajectory, rounds
         ),
         "precomputed pairing": bench_pairing(group, rng, trajectory, rounds),
+        "GT fixed-base exp": bench_gt_exp(group, rng, trajectory, rounds),
+        "warm encrypt x1": encrypt_ratios[1],
+        f"warm encrypt x{batch}": encrypt_ratios[batch],
+        f"broadcast x{batch}": bench_encrypt_broadcast(
+            group, rng, trajectory, rounds, batch
+        ),
         f"batch decrypt x{batch}": bench_batch_decrypt(
             group, rng, trajectory, rounds, batch
         ),

@@ -162,21 +162,30 @@ def compare_entries(
     committed: dict[str, dict],
     fresh: dict[str, dict],
     tolerance: float,
-) -> tuple[list[tuple], list[str]]:
+) -> tuple[list[tuple], list[str], list[str]]:
     """Diff fresh medians against committed ones.
 
-    Returns ``(rows, regressions)`` where each row is
+    Returns ``(rows, regressions, new_keys)`` where each row is
     ``(key, committed_ms, fresh_ms, ratio, status)`` and ``regressions``
     lists the keys whose fresh median exceeds the committed one by more
     than ``tolerance`` (a fraction, e.g. ``0.3`` for ±30%).
+
+    A fresh key with no committed baseline is *informational*, never a
+    failure: it lands in ``new_keys`` with status ``"new"`` so a PR
+    that adds benchmark coverage passes the gate and the new entries
+    are visible in the table.  Committed keys the fresh run did not
+    measure appear with status ``"not-measured"`` (also informational —
+    the gate only judges pairs measured on both sides).
     """
     rows: list[tuple] = []
     regressions: list[str] = []
+    new_keys: list[str] = []
     for key, entry in sorted(fresh.items()):
         fresh_ms = entry["median_ms"]
         base = committed.get(key)
         if base is None:
             rows.append((key, None, fresh_ms, None, "new"))
+            new_keys.append(key)
             continue
         base_ms = base["median_ms"]
         if not base_ms:
@@ -191,7 +200,10 @@ def compare_entries(
         else:
             status = "ok"
         rows.append((key, base_ms, fresh_ms, ratio, status))
-    return rows, regressions
+    for key, entry in sorted(committed.items()):
+        if key not in fresh:
+            rows.append((key, entry.get("median_ms"), None, None, "not-measured"))
+    return rows, regressions, new_keys
 
 
 def render_comparison(rows: list[tuple], tolerance: float) -> str:
@@ -201,7 +213,7 @@ def render_comparison(rows: list[tuple], tolerance: float) -> str:
         cells.append((
             key,
             f"{base_ms:.3f}" if base_ms is not None else "-",
-            f"{fresh_ms:.3f}",
+            f"{fresh_ms:.3f}" if fresh_ms is not None else "-",
             f"{ratio:.2f}x" if ratio is not None else "-",
             status,
         ))
@@ -238,8 +250,18 @@ def run_check(
     rng = seeded_rng(f"smoke:{params}")
     fresh = BenchTrajectory(path)
     smoke.run_all(group, rng, fresh, rounds, batch, workers)
-    rows, regressions = compare_entries(committed, fresh.entries, tolerance)
+    rows, regressions, new_keys = compare_entries(
+        committed, fresh.entries, tolerance
+    )
     print(render_comparison(rows, tolerance))
+    if new_keys:
+        print(
+            f"\n{len(new_keys)} new entr"
+            f"{'y' if len(new_keys) == 1 else 'ies'} without a committed "
+            "baseline (informational, not gated):"
+        )
+        for key in new_keys:
+            print(f"  {key}")
     if regressions:
         print(f"\n{len(regressions)} regression(s) beyond ±{tolerance * 100:.0f}%:")
         for key in regressions:

@@ -3,6 +3,9 @@
 #
 #   ./scripts/check.sh            # tier-1 tests + repro.lint (+ ruff/mypy if installed)
 #   ./scripts/check.sh --fast     # skip the test suite, just the static checks
+#   ./scripts/check.sh --bench    # also run the toy64 smoke benchmark and the
+#                                 # trajectory regression check (advisory —
+#                                 # mirrors CI's non-blocking bench job)
 #
 # ruff and mypy are optional: they are skipped with a notice when not
 # installed so the gate works on the offline, stdlib-only toolchain the
@@ -13,7 +16,11 @@ set -u
 cd "$(dirname "$0")/.."
 
 fast=0
-[ "${1:-}" = "--fast" ] && fast=1
+bench=0
+for arg in "$@"; do
+    [ "$arg" = "--fast" ] && fast=1
+    [ "$arg" = "--bench" ] && bench=1
+done
 
 failures=0
 
@@ -47,6 +54,14 @@ if command -v mypy >/dev/null 2>&1; then
     mypy || echo "mypy reported issues (advisory — not failing the gate)"
 else
     echo "mypy not installed — skipped (config lives in pyproject.toml)"
+fi
+
+if [ "$bench" -eq 1 ]; then
+    step "smoke benchmark + trajectory check (advisory — mirrors CI bench job)"
+    ./scripts/bench.sh --rounds 3 \
+        || echo "smoke benchmark failed (advisory — not failing the gate)"
+    PYTHONPATH=src python -m benchmarks.trajectory --check --rounds 3 \
+        || echo "trajectory check reported regressions (advisory — not failing the gate)"
 fi
 
 echo

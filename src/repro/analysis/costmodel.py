@@ -34,6 +34,10 @@ class OpBudget:
     point_adds: int = 0
     fixed_base_mults: int = 0
     precomputed_pairings: int = 0
+    # Subset of ``gt_exps`` served by a windowed GT fixed-base table
+    # (mirrors GT_FIXED_BASE in repro.pairing.opcount): zero squarings,
+    # one GT multiplication per exponent window.
+    gt_fixed_base_exps: int = 0
     # Pairing substructure (mirrors MILLER_LOOP / FINAL_EXP /
     # MULTI_PAIRING in repro.pairing.opcount): ``miller_loops`` is one
     # per live pairing, while a k-fold multi-pairing shares ONE final
@@ -52,6 +56,7 @@ class OpBudget:
             "point_add": self.point_adds,
             "fixed_base_mult": self.fixed_base_mults,
             "pairing_precomp": self.precomputed_pairings,
+            "gt_fixed_base": self.gt_fixed_base_exps,
             "miller_loop": self.miller_loops,
             "final_exp": self.final_exps,
             "multi_pair": self.multi_pairs,
@@ -64,6 +69,7 @@ class OpBudget:
         precomp_pairing_weight: float = 4.0,
         fixed_base_weight: float = 0.4,
         final_exp_weight: float = 2.0,
+        gt_fixed_base_weight: float = 0.4,
     ) -> float:
         """A single comparable number: scalar-mult-equivalents.
 
@@ -72,11 +78,15 @@ class OpBudget:
         all doublings.  A multi-pairing budget (``multi_pairs > 0``)
         gets credited the final exponentiations it shares away:
         ``pairings - final_exps`` of them, each worth
-        ``final_exp_weight``.  The discounted weights reflect the
+        ``final_exp_weight``.  A table-driven GT exponentiation
+        (``gt_fixed_base_exps``, a subset of ``gt_exps``) drops all
+        squarings the same way a fixed-base multiplication does, and
+        earns the same discount.  The discounted weights reflect the
         measured ratios in ``BENCH_pairing.json``.
         """
         direct_pairings = self.pairings - self.precomputed_pairings
         direct_mults = self.scalar_mults - self.fixed_base_mults
+        direct_gt_exps = self.gt_exps - self.gt_fixed_base_exps
         # Budgets written before the multi-pairing kernel leave
         # final_exps at 0 ("not modeled") — only credit the saving when
         # the budget explicitly declares multi-pairing structure.
@@ -89,7 +99,8 @@ class OpBudget:
             + direct_mults
             + self.fixed_base_mults * fixed_base_weight
             + self.hash_to_group
-            + self.gt_exps
+            + direct_gt_exps
+            + self.gt_fixed_base_exps * gt_fixed_base_weight
             + 0.01 * self.point_adds
             - saved_final_exps * final_exp_weight
         )
@@ -200,6 +211,41 @@ TRE_PRECOMP_ENCRYPT_COST = OpBudget(
     pairings=1, scalar_mults=2, hash_to_group=1, fixed_base_mults=2,
     miller_loops=1, final_exps=1,
 )
+
+# §5.1 Encrypt after precompute_sender(..., time_labels=[T]) — the GT
+# fast path.  Unlike the other precomputed variants this one genuinely
+# *eliminates* primary operations rather than rerouting them: the
+# constant pairing ê(asG, H1(T)) is cached, so the pairing, the
+# hash-to-curve and the r·asG multiplication all vanish, leaving one
+# fixed-base U = rG and one table-driven GT exponentiation g^r.  This
+# is the encryption collapse the E4c table demonstrates
+# (dominant cost: 13 -> ~0.8 scalar-mult equivalents).
+TRE_GT_ENCRYPT_COST = OpBudget(
+    scalar_mults=1, fixed_base_mults=1, gt_exps=1, gt_fixed_base_exps=1,
+)
+
+
+def broadcast_encrypt_cost(recipients: int, warm: bool = True) -> OpBudget:
+    """One broadcast encryption to ``recipients`` receivers.
+
+    Warm (GT caches built by ``BroadcastTimedReleaseScheme.
+    precompute_sender``): one shared fixed-base ``U = rG`` plus one
+    table-driven GT exponentiation per recipient — no pairings at all.
+    Cold: each recipient costs a hash-to-curve, an ``r·as_iG``
+    multiplication and a pairing, plus the shared ``rG``.
+    """
+    if recipients < 1:
+        raise ValueError("a broadcast needs at least one recipient")
+    if warm:
+        return OpBudget(
+            scalar_mults=1, fixed_base_mults=1,
+            gt_exps=recipients, gt_fixed_base_exps=recipients,
+        )
+    return OpBudget(
+        pairings=recipients, scalar_mults=recipients + 1,
+        hash_to_group=recipients,
+        miller_loops=recipients, final_exps=recipients,
+    )
 
 # Update self-authentication against a precomputed (G, sG): both
 # pairings evaluate cached Miller lines inside one multi-pairing.

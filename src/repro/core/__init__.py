@@ -14,12 +14,14 @@ Module map (paper section → module):
 * §5 CCA upgrades             → :mod:`repro.core.fujisaki_okamoto`,
                                 :mod:`repro.core.react`
 * KEM-DEM wrapping for long messages → :mod:`repro.core.hybrid_tre`
+* multi-recipient broadcast   → :mod:`repro.core.broadcast`
 """
 
 from repro.core.keys import ServerKeyPair, ServerPublicKey, UserKeyPair, UserPublicKey
 from repro.core.timeserver import PassiveTimeServer, TimeBoundKeyUpdate, epoch_label
 from repro.core.tre import TimedReleaseScheme, TRECiphertext
 from repro.core.idtre import IdentityTimedReleaseScheme, IDTRECiphertext
+from repro.core.broadcast import BroadcastCiphertext, BroadcastTimedReleaseScheme
 from repro.core.bls import BLSSignatureScheme
 
 __all__ = [
@@ -34,5 +36,7 @@ __all__ = [
     "TRECiphertext",
     "IdentityTimedReleaseScheme",
     "IDTRECiphertext",
+    "BroadcastCiphertext",
+    "BroadcastTimedReleaseScheme",
     "BLSSignatureScheme",
 ]

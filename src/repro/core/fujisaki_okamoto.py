@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import Iterable
 
 from repro.core.keys import ServerPublicKey, UserKeyPair, UserPublicKey
 from repro.core.timeserver import TimeBoundKeyUpdate
@@ -73,6 +74,25 @@ class FOTimedReleaseScheme:
     def __init__(self, group: PairingGroup):
         self.group = group
         self._base = TimedReleaseScheme(group)
+
+    def precompute_sender(
+        self,
+        receiver_public: UserPublicKey,
+        server_public: ServerPublicKey,
+        time_labels: Iterable[bytes] = (),
+    ) -> None:
+        """Warm the base scheme's sender fast paths (incl. GT tables).
+
+        ``_sender_key`` in :meth:`encrypt` picks up the cached pairing
+        transparently; FO's derandomized ``r`` does not change the cache
+        key, so the output stays byte-identical.
+        """
+        self._base.precompute_sender(
+            receiver_public, server_public, time_labels=time_labels
+        )
+
+    def clear_sender_cache(self) -> None:
+        self._base.clear_sender_cache()
 
     def _derive_r(self, sigma: bytes, message: bytes, time_label: bytes) -> int:
         return self.group.hash_to_scalar(sigma, message, time_label, tag=_H3_TAG)

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import Iterable
 
 from repro.core.keys import ServerPublicKey, UserKeyPair, UserPublicKey
 from repro.core.timeserver import TimeBoundKeyUpdate
@@ -61,6 +62,20 @@ class HybridTimedReleaseScheme:
     def __init__(self, group: PairingGroup):
         self.group = group
         self._kem = TimedReleaseScheme(group)
+
+    def precompute_sender(
+        self,
+        receiver_public: UserPublicKey,
+        server_public: ServerPublicKey,
+        time_labels: Iterable[bytes] = (),
+    ) -> None:
+        """Warm the underlying KEM's sender fast paths (incl. GT tables)."""
+        self._kem.precompute_sender(
+            receiver_public, server_public, time_labels=time_labels
+        )
+
+    def clear_sender_cache(self) -> None:
+        self._kem.clear_sender_cache()
 
     def encrypt(
         self,

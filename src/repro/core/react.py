@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import Iterable
 
 from repro.core.keys import ServerPublicKey, UserKeyPair, UserPublicKey
 from repro.core.timeserver import TimeBoundKeyUpdate
@@ -69,6 +70,20 @@ class ReactTimedReleaseScheme:
     def __init__(self, group: PairingGroup):
         self.group = group
         self._base = TimedReleaseScheme(group)
+
+    def precompute_sender(
+        self,
+        receiver_public: UserPublicKey,
+        server_public: ServerPublicKey,
+        time_labels: Iterable[bytes] = (),
+    ) -> None:
+        """Warm the base scheme's sender fast paths (incl. GT tables)."""
+        self._base.precompute_sender(
+            receiver_public, server_public, time_labels=time_labels
+        )
+
+    def clear_sender_cache(self) -> None:
+        self._base.clear_sender_cache()
 
     def _checksum(self, r_value: bytes, message: bytes, c1_bytes: bytes, c2: bytes) -> bytes:
         return hash_bytes(r_value, message, c1_bytes, c2, tag=_H_TAG)[:CHECK_BYTES]

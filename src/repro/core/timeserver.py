@@ -189,7 +189,7 @@ def verify_archive(
     group: PairingGroup,
     server_public,
     updates: list[TimeBoundKeyUpdate],
-    workers: int | None = None,
+    workers: int | str | None = None,
     chunk_size: int | None = None,
 ) -> list[bytes]:
     """Archive catch-up: authenticate a backlog update-by-update.
@@ -206,8 +206,14 @@ def verify_archive(
     :mod:`repro.parallel` (each worker precomputes the ``(G, sG)``
     lines once per chunk); the returned labels are identical to the
     sequential path, though worker pairings do not show up in this
-    group's operation counters.
+    group's operation counters.  ``workers="auto"`` lets
+    :func:`repro.parallel.auto_workers` pick a count from the backlog
+    size and available CPUs; ``None`` stays sequential.
     """
+    if workers == "auto":
+        from repro.parallel import auto_workers
+
+        workers = auto_workers(len(updates))
     if workers is not None and workers > 1 and len(updates) > 1:
         from repro.parallel import parallel_map
 

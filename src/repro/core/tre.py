@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import Iterable
 
 from repro.core.keys import ServerPublicKey, UserKeyPair, UserPublicKey
 from repro.core.timeserver import TimeBoundKeyUpdate
@@ -69,6 +70,15 @@ class TimedReleaseScheme:
 
     def __init__(self, group: PairingGroup):
         self.group = group
+        # Sender-side GT cache: (asG, T) -> g = ê(asG, H1(T)).  For a
+        # fixed (receiver, T) the pairing never changes — only the
+        # exponent r does — so a warmed entry collapses encryption from
+        # a Miller loop + final exponentiation to one GT exponentiation.
+        # Pure accelerator: cached and direct paths produce byte-
+        # identical ciphertexts (bilinearity: ê(asG, H1(T))^r ==
+        # ê(r·asG, H1(T))).  Keyed by asG, which binds both the receiver
+        # and the server.
+        self._sender_gt: dict[tuple[CurvePoint, bytes], GTElement] = {}
 
     # ------------------------------------------------------------------
     # Key generation (delegates to repro.core.keys, kept here so the
@@ -90,7 +100,17 @@ class TimedReleaseScheme:
         time_label: bytes,
         r: int,
     ) -> GTElement:
-        """``K = ê(r·asG, H1(T))`` — computed by the sender."""
+        """``K = ê(r·asG, H1(T))`` — computed by the sender.
+
+        With a warm GT cache (see :meth:`precompute_sender` with
+        ``time_labels``) this is ``ê(asG, H1(T))^r`` — the same group
+        element by bilinearity, obtained from one table-driven GT
+        exponentiation instead of a hash-to-curve, a scalar
+        multiplication, and a pairing.
+        """
+        cached = self._sender_gt.get((receiver_public.as_generator, time_label))
+        if cached is not None:
+            return cached ** r
         r_as_g = self.group.mul(receiver_public.as_generator, r)
         h_t = self.group.hash_to_g1(time_label, tag=H1_TAG)
         return self.group.pair(r_as_g, h_t)
@@ -112,17 +132,50 @@ class TimedReleaseScheme:
         self,
         receiver_public: UserPublicKey,
         server_public: ServerPublicKey,
+        time_labels: Iterable[bytes] = (),
     ) -> None:
-        """Warm fixed-base tables for the sender's hot path.
+        """Warm the sender's fixed-argument caches for repeated encryption.
 
         Both scalar multiplications in :meth:`encrypt` — ``U = rG`` and
         ``r·asG`` — use fixed bases, so a sender addressing the same
         receiver repeatedly (or many receivers under one server) builds
         the tables once and every subsequent encryption takes the
         table-driven path automatically via ``group.mul``.
+
+        ``time_labels`` unlocks the GT fast path: for each label ``T``
+        the constant pairing ``g_{R,T} = ê(asG, H1(T))`` is computed
+        once, cached, and given a windowed exponentiation table
+        (:meth:`~repro.pairing.api.PairingGroup.precompute_gt`), after
+        which :meth:`encrypt` for that (receiver, T) pair costs one
+        table-driven fixed-base multiplication (``U = rG``) plus one
+        table-driven GT exponentiation (``g_{R,T}^r``) — no pairing, no
+        hash-to-curve — with byte-identical ciphertexts.
+        :meth:`clear_sender_cache` frees the per-label entries.
         """
         self.group.precompute(server_public.generator)
         self.group.precompute(receiver_public.as_generator)
+        time_labels = list(time_labels)
+        if not time_labels:
+            return
+        # One set of Miller lines for asG amortizes across all labels.
+        precomp = self.group.precompute_pairing(receiver_public.as_generator)
+        for label in time_labels:
+            key = (receiver_public.as_generator, label)
+            g = self._sender_gt.get(key)
+            if g is None:
+                h_t = self.group.hash_to_g1(label, tag=H1_TAG)
+                g = precomp.pair(h_t)
+                self._sender_gt[key] = g
+            self.group.precompute_gt(g)
+
+    def clear_sender_cache(self) -> None:
+        """Drop every cached ``g_{R,T}`` pairing (correctness unaffected).
+
+        The matching GT exponentiation tables live on the group; call
+        :meth:`~repro.pairing.api.PairingGroup.clear_precomputations`
+        to free those too.
+        """
+        self._sender_gt.clear()
 
     # ------------------------------------------------------------------
     # Encryption / decryption (§5.1 verbatim).
@@ -183,7 +236,7 @@ class TimedReleaseScheme:
         receiver: UserKeyPair | int,
         update: TimeBoundKeyUpdate,
         server_public: ServerPublicKey | None = None,
-        workers: int | None = None,
+        workers: int | str | None = None,
         chunk_size: int | None = None,
     ) -> list[bytes]:
         """Decrypt many ciphertexts bound to the *same* release time.
@@ -202,9 +255,12 @@ class TimedReleaseScheme:
         ``workers > 1`` shards the batch across a process pool via
         :mod:`repro.parallel` (label checks and update verification
         still happen here, once, before any shard is dispatched); the
-        plaintexts are byte-identical to the sequential path.  Note
-        that pairing work done in workers is not reflected in this
-        group's operation counters.
+        plaintexts are byte-identical to the sequential path.
+        ``workers="auto"`` lets :func:`repro.parallel.auto_workers`
+        pick a count from the batch size and available CPUs (which may
+        be sequential); ``None`` stays sequential for backward
+        compatibility.  Note that pairing work done in workers is not
+        reflected in this group's operation counters.
         """
         private = receiver.private if isinstance(receiver, UserKeyPair) else receiver
         for ciphertext in ciphertexts:
@@ -214,6 +270,10 @@ class TimedReleaseScheme:
                 )
         if server_public is not None:
             update.ensure_valid(self.group, server_public)
+        if workers == "auto":
+            from repro.parallel import auto_workers
+
+            workers = auto_workers(len(ciphertexts))
         if workers is not None and workers > 1 and len(ciphertexts) > 1:
             from repro.parallel import parallel_map, shard_secret
 

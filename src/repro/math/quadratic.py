@@ -16,6 +16,14 @@ from repro.errors import EncodingError, FieldMismatchError, ParameterError
 from repro.math.field import PrimeField
 from repro.math.modular import inverse_mod, is_quadratic_residue
 
+__all__ = [
+    "QuadraticField",
+    "QuadraticElement",
+    "cyclotomic_square",
+    "unitary_exp",
+    "GTFixedBaseTable",
+]
+
 
 class QuadraticField:
     """``Fp[u]/(u^2 - beta)`` for a quadratic non-residue ``beta``."""
@@ -238,3 +246,177 @@ class QuadraticElement:
 
     def __repr__(self) -> str:
         return f"Fp2({self.a} + {self.b}u)"
+
+
+# ----------------------------------------------------------------------
+# Fast exponentiation for *unitary* elements (norm == 1).
+#
+# The order-q target group GT of the reduced Tate pairing lives in the
+# norm-1 ("cyclotomic") subgroup of Fp2*: the final exponentiation's
+# ^(p-1) step maps every Miller value there.  Two structural freebies
+# follow, and the GT hot path (one exponentiation per encryption once
+# the pairing is cached) is built on both:
+#
+# * the inverse is the conjugate, so signed-digit exponent recodings
+#   cost nothing extra for their negative digits;
+# * squaring needs only 2 base-field multiplications instead of the
+#   generic 3: with a^2 - beta*b^2 == 1 the real part of
+#   (a + bu)^2 = (a^2 + beta*b^2) + 2ab*u collapses to 2a^2 - 1.
+# ----------------------------------------------------------------------
+
+
+def cyclotomic_square(x: QuadraticElement) -> QuadraticElement:
+    """``x * x`` assuming ``norm(x) == 1`` — 2 base mults instead of 3.
+
+    For unitary ``x = a + bu``: ``beta*b^2 = a^2 - 1``, so the square is
+    ``(2a^2 - 1) + 2ab*u``.  Exact (the same field element
+    :meth:`QuadraticElement.square` returns) whenever the norm really is
+    one; callers are responsible for that invariant, which holds for
+    every element produced by the pairing's final exponentiation.
+    """
+    p = x.field.p
+    return QuadraticElement(
+        x.field, (2 * x.a * x.a - 1) % p, 2 * x.a * x.b % p
+    )
+
+
+def _wnaf_digits_signed(exponent: int, width: int) -> list[int]:
+    """Width-``w`` NAF of a non-negative exponent, LSB first (odd digits,
+    ``|d| < 2^(w-1)``); the multiplicative twin of
+    :func:`repro.ec.precompute.wnaf_digits`."""
+    digits = []
+    modulus = 1 << width
+    half = 1 << (width - 1)
+    while exponent:
+        if exponent & 1:
+            digit = exponent & (modulus - 1)
+            if digit >= half:
+                digit -= modulus
+            exponent -= digit
+        else:
+            digit = 0
+        digits.append(digit)
+        exponent >>= 1
+    return digits
+
+
+def unitary_exp(
+    base: QuadraticElement, exponent: int, width: int = 4
+) -> QuadraticElement:
+    """``base ** exponent`` for unitary ``base``, wNAF + cyclotomic squaring.
+
+    The signed-digit (width-``w`` NAF) recoding halves the window table
+    (odd positive digits only — negative digits use the free
+    :meth:`QuadraticElement.unitary_inverse`) and the ~``bits`` loop
+    squarings each cost 2 base-field multiplications instead of 3.
+    Negative exponents conjugate the base first.  Returns exactly the
+    element the naive square-and-multiply would: every step is the same
+    exact field arithmetic, just cheaper.
+    """
+    if width < 2 or width > 8:
+        raise ParameterError("wNAF width must be in 2..8")
+    if exponent < 0:
+        base = base.conjugate()
+        exponent = -exponent
+    one = base.field.one()
+    if exponent == 0:
+        return one
+    # Odd powers base^1, base^3, ..., base^(2^(w-1) - 1).
+    odd_powers = [base]
+    if width > 2:
+        base_sq = cyclotomic_square(base)
+        for _ in range((1 << (width - 2)) - 1):
+            odd_powers.append(odd_powers[-1] * base_sq)
+    result = one
+    for digit in reversed(_wnaf_digits_signed(exponent, width)):
+        if result is not one:
+            result = cyclotomic_square(result)
+        if digit > 0:
+            entry = odd_powers[digit >> 1]
+            result = entry if result is one else result * entry
+        elif digit < 0:
+            entry = odd_powers[(-digit) >> 1].conjugate()
+            result = entry if result is one else result * entry
+    return result
+
+
+class GTFixedBaseTable:
+    """Windowed powers of one fixed unitary element, for repeated ``g^k``.
+
+    The GT analog of :class:`repro.ec.precompute.FixedBaseTable`: stores
+    ``g^(d * 2^(j*w))`` for every window index ``j`` and digit
+    ``d in 1..2^w - 1``, so an exponentiation reads one entry per
+    ``w``-bit window and performs only multiplications — **zero
+    squarings**.  A sender encrypting many messages to one
+    ``(receiver, T)`` pair builds the table once; every later
+    ``g^r`` costs ~``bits/w`` Fp2 multiplications.
+
+    Parameters mirror the EC table: ``bits`` is the capacity (scalars
+    reduced mod the group order fit in ``order.bit_length()`` bits;
+    larger exponents fall back to :func:`unitary_exp`), ``width`` the
+    window size (memory is ``(2^w - 1) * ceil(bits/w)`` Fp2 elements).
+    Negative exponents conjugate the (unitary) result for free.
+    """
+
+    __slots__ = ("base", "field", "width", "bits", "windows", "_rows")
+
+    def __init__(self, base: QuadraticElement, bits: int, width: int = 4):
+        if not 1 <= width <= 8:
+            raise ParameterError("window width must be in 1..8")
+        if bits < 1:
+            raise ParameterError("table capacity must be at least one bit")
+        if not (base * base.conjugate()).is_one():
+            raise ParameterError(
+                "GT fixed-base tables require a unitary element (norm 1)"
+            )
+        self.base = base
+        self.field = base.field
+        self.width = width
+        self.bits = bits
+        self.windows = (bits + width - 1) // width
+        size = 1 << width
+        rows: list[list[QuadraticElement]] = []
+        window_base = base
+        for _ in range(self.windows):
+            entry = window_base
+            row = [entry]
+            for _ in range(size - 2):
+                entry = entry * window_base
+                row.append(entry)
+            rows.append(row)
+            for _ in range(width):
+                window_base = cyclotomic_square(window_base)
+        self._rows = rows
+
+    @property
+    def table_elements(self) -> int:
+        """Stored Fp2 elements (memory ~= 2 base-field ints each)."""
+        return sum(len(row) for row in self._rows)
+
+    def exp(self, exponent: int) -> QuadraticElement:
+        """``base ** exponent``, identical to the direct exponentiation."""
+        if exponent == 0:
+            return self.field.one()
+        negate = exponent < 0
+        if negate:
+            exponent = -exponent
+        if exponent.bit_length() > self.bits:
+            result = unitary_exp(self.base, exponent)
+            return result.conjugate() if negate else result
+        mask = (1 << self.width) - 1
+        result = None
+        for window_index in range(self.windows):
+            digit = (exponent >> (window_index * self.width)) & mask
+            if not digit:
+                continue
+            entry = self._rows[window_index][digit - 1]
+            result = entry if result is None else result * entry
+        if result is None:  # pragma: no cover - exponent != 0 above
+            result = self.field.one()
+        return result.conjugate() if negate else result
+
+    def __repr__(self) -> str:
+        return (
+            f"GTFixedBaseTable(bits={self.bits}, width={self.width}, "
+            f"elements={self.table_elements})"
+        )

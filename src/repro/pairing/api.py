@@ -28,12 +28,13 @@ import weakref
 from repro.ec.point import CurvePoint
 from repro.ec.precompute import FixedBaseTable
 from repro.errors import GroupMismatchError, NotInSubgroupError, ParameterError
-from repro.math.quadratic import QuadraticElement
+from repro.math.quadratic import GTFixedBaseTable, QuadraticElement, unitary_exp
 from repro.pairing import hashing
 from repro.pairing.opcount import (
     FINAL_EXP,
     FIXED_BASE_MULT,
     GT_EXP,
+    GT_FIXED_BASE,
     GT_MUL,
     HASH_TO_GROUP,
     MILLER_LOOP,
@@ -73,10 +74,10 @@ class GTElement:
         return GTElement(self.group, self.value * other.value.conjugate())
 
     def __pow__(self, exponent: int) -> "GTElement":
-        self.group.counters.record(GT_EXP)
-        return GTElement(
-            self.group, unitary_pow(self.value, exponent % self.group.q)
-        )
+        # Routed through the group so a GTFixedBaseTable cached by
+        # precompute_gt is picked up transparently (same element either
+        # way; the table only changes the wall-clock cost).
+        return self.group.gt_exp(self, exponent)
 
     def inverse(self) -> "GTElement":
         # Unitary: the conjugate is the inverse.
@@ -192,9 +193,10 @@ class PairingGroup:
         self.gt_bytes = 2 * self.ssc.fp.element_bytes
         self.scalar_bytes = (self.q.bit_length() + 7) // 8
         # Fixed-argument caches, populated only by explicit precompute
-        # calls; mul/pair probe them with a dict lookup per call.
+        # calls; mul/pair/gt_exp probe them with a dict lookup per call.
         self._fixed_base: dict[CurvePoint, FixedBaseTable] = {}
         self._pairing_precomp: dict[CurvePoint, PairingPrecomputation] = {}
+        self._gt_fixed_base: dict[QuadraticElement, GTFixedBaseTable] = {}
         # lint: allow[RP302] per-process bookkeeping by design: every
         # process tracks the groups *it* constructed so the at-fork hook
         # can clear inherited caches; divergence across processes is the
@@ -422,7 +424,7 @@ class PairingGroup:
         return precomp
 
     def clear_precomputations(self) -> None:
-        """Drop all fixed-base tables and cached Miller lines.
+        """Drop all fixed-base tables, cached Miller lines, and GT tables.
 
         Long-running processes that precompute per-epoch updates (e.g.
         archive catch-up over thousands of labels) call this to bound
@@ -430,6 +432,47 @@ class PairingGroup:
         """
         self._fixed_base.clear()
         self._pairing_precomp.clear()
+        self._gt_fixed_base.clear()
+
+    def gt_exp(self, gt: GTElement, exponent: int) -> GTElement:
+        """``gt ** exponent`` (exponent reduced mod ``q``).
+
+        The single entry point every GT exponentiation goes through
+        (``GTElement.__pow__`` delegates here): if the base has a table
+        cached by :meth:`precompute_gt` the exponentiation is
+        table-driven — one ``Fp2`` multiplication per window, zero
+        squarings — and the advisory ``gt_fixed_base`` counter records
+        the hit.  Without a table it runs the wNAF/cyclotomic-squaring
+        ladder.  The result is the same group element either way.
+        """
+        if not isinstance(gt, GTElement) or gt.group is not self:
+            raise GroupMismatchError("gt_exp expects a GT element of this group")
+        self.counters.record(GT_EXP)
+        exponent %= self.q
+        table = self._gt_fixed_base.get(gt.value)
+        if table is not None:
+            self.counters.record(GT_FIXED_BASE)
+            return GTElement(self, table.exp(exponent))
+        return GTElement(self, unitary_exp(gt.value, exponent))
+
+    def precompute_gt(self, base: GTElement, width: int = 4) -> GTFixedBaseTable:
+        """Build (and cache) a windowed exponentiation table for ``base``.
+
+        The GT analog of :meth:`precompute`: subsequent ``base ** k``
+        (equivalently :meth:`gt_exp`) calls on the same element read one
+        stored power per ``width``-bit window of ``k`` — **zero
+        squarings** — and return the identical group element.  This is
+        the sender-side fast path: once ``g = ê(asG, H1(T))`` is cached
+        for a fixed (receiver, T), every encryption costs one
+        table-driven GT exponentiation instead of a pairing.  Memory is
+        ``(2^width - 1) * ceil(q_bits/width)`` Fp2 elements;
+        :meth:`clear_precomputations` frees the tables.
+        """
+        table = self._gt_fixed_base.get(base.value)
+        if table is None or table.width != width:
+            table = GTFixedBaseTable(base.value, self.q.bit_length(), width=width)
+            self._gt_fixed_base[base.value] = table
+        return table
 
     def gt_identity(self) -> GTElement:
         return GTElement(self, self.ssc.fp2.one())

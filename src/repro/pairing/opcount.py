@@ -24,8 +24,11 @@ GT_MUL = "gt_mul"
 # addition to* the primary counter above (a table-driven multiply still
 # counts as one scalar_mult), so cost-model assertions on the primary
 # names stay stable while the fast-path hit rate remains observable.
+# GT_FIXED_BASE is the GT analog of FIXED_BASE_MULT: a gt_exp that read
+# a windowed GTFixedBaseTable instead of running square-and-multiply.
 FIXED_BASE_MULT = "fixed_base_mult"
 PAIRING_PRECOMP = "pairing_precomp"
+GT_FIXED_BASE = "gt_fixed_base"
 
 # Pairing internals, counted separately so the multi-pairing saving is
 # visible: a direct pairing is one Miller loop plus one final

@@ -157,6 +157,48 @@ def available_workers() -> int:
         return os.cpu_count() or 1
 
 
+# Cost-model constants for auto_workers, in units of "one item's work".
+# WORKER_WARMUP_ITEM_COST: forking a pool, importing the library and
+# rebuilding the pairing group in each worker costs roughly this many
+# items of useful work (workers warm up concurrently, so it is paid once
+# per batch, not per worker).  PARALLEL_ITEM_OVERHEAD: byte
+# serialization and pipe transfer add this fraction to every item.
+# AUTO_SPEEDUP_MARGIN: forking must beat sequential by at least this
+# factor, else the model stays sequential — near break-even the pool's
+# unmodeled costs (scheduler noise, memory pressure) make it a loss.
+WORKER_WARMUP_ITEM_COST = 4.0
+PARALLEL_ITEM_OVERHEAD = 0.1
+AUTO_SPEEDUP_MARGIN = 0.95
+
+
+def auto_workers(item_count: int, cpus: int | None = None) -> int:
+    """Pick a worker count for ``item_count`` items, or 1 for sequential.
+
+    A deliberately simple cost model: sequential cost is ``item_count``;
+    a ``w``-worker pool costs a one-time warmup plus the longest shard,
+    inflated by per-item serialization overhead.  The returned count is
+    the cheapest ``w``, and 1 (sequential — no pool at all) unless the
+    best pool beats sequential by :data:`AUTO_SPEEDUP_MARGIN`.  Small
+    batches and single-CPU hosts therefore fall back to sequential
+    instead of paying fork/import cost for nothing.
+    """
+    if item_count <= 1:
+        return 1
+    cpus = available_workers() if cpus is None else max(1, cpus)
+    best_workers = 1
+    best_cost = float(item_count)
+    for workers in range(2, min(cpus, item_count) + 1):
+        cost = WORKER_WARMUP_ITEM_COST + math.ceil(item_count / workers) * (
+            1.0 + PARALLEL_ITEM_OVERHEAD
+        )
+        if cost < best_cost:
+            best_cost = cost
+            best_workers = workers
+    if best_workers > 1 and best_cost >= AUTO_SPEEDUP_MARGIN * item_count:
+        return 1
+    return best_workers
+
+
 def default_chunk_size(item_count: int, workers: int) -> int:
     """~4 chunks per worker: large enough to amortize per-chunk setup,
     small enough that a slow chunk cannot straggle the whole batch."""
@@ -210,7 +252,9 @@ def parallel_map(
         Byte-encoded work items; one result blob is returned per item,
         in order.
     workers:
-        Process count.  ``None`` means :func:`available_workers`;
+        Process count.  ``None`` means :func:`auto_workers` — the cost
+        model picks a count from the batch size and available CPUs, and
+        falls back to sequential when forking would be a net loss;
         ``<= 1`` runs sequentially in-process (identical code path and
         bytes, no pool).
     chunk_size:
@@ -232,7 +276,7 @@ def parallel_map(
     if not payloads:
         return []
     if workers is None:
-        workers = available_workers()
+        workers = auto_workers(len(payloads))
 
     if workers <= 1 or len(payloads) == 1:
         status, value = _execute_chunk((task, _group_spec(group), setup, payloads))

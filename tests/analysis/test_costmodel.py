@@ -14,8 +14,10 @@ from repro.analysis.costmodel import (
     PRECOMP_UPDATE_VERIFY_COST,
     RECEIVER_KEY_CHECK_COST,
     TRE_COST,
+    TRE_GT_ENCRYPT_COST,
     TRE_PRECOMP_ENCRYPT_COST,
     UPDATE_VERIFY_COST,
+    broadcast_encrypt_cost,
     cost_table,
     multiserver_cost,
     resilient_cost,
@@ -171,7 +173,7 @@ def _assert_budget_with_advisory(measured: dict, budget) -> None:
     """Exact comparison including the fast-path sub-counters."""
     names = (
         "pairing", "scalar_mult", "hash_to_group", "gt_exp",
-        "fixed_base_mult", "pairing_precomp",
+        "fixed_base_mult", "pairing_precomp", "gt_fixed_base",
         "miller_loop", "final_exp", "multi_pair",
     )
     relevant = {k: v for k, v in measured.items() if k in names}
@@ -201,6 +203,52 @@ class TestPrecomputedBudgets:
         _assert_budget_with_advisory(measured, TRE_PRECOMP_ENCRYPT_COST)
         # Primary counters unchanged vs. the cold budget.
         _assert_budget(measured, TRE_COST.encrypt)
+
+    def test_gt_fast_path_encrypt(self, fresh, rng):
+        """The GT fast path *eliminates* the pairing and hash-to-curve —
+        the one precomputed variant whose primary counts shrink."""
+        group, server, user = fresh
+        scheme = TimedReleaseScheme(group)
+        scheme.precompute_sender(
+            user.public, server.public_key, time_labels=[LABEL]
+        )
+        measured = _measure(group, lambda: scheme.encrypt(
+            b"m" * 32, user.public, server.public_key, LABEL, rng,
+            verify_receiver_key=False,
+        ))
+        _assert_budget_with_advisory(measured, TRE_GT_ENCRYPT_COST)
+        assert "pairing" not in measured
+        assert "hash_to_group" not in measured
+
+    def test_broadcast_encrypt_budget(self, fresh, rng):
+        from repro.core.broadcast import BroadcastTimedReleaseScheme
+
+        group, server, user = fresh
+        others = [
+            UserKeyPair.generate(group, server.public_key, rng)
+            for _ in range(2)
+        ]
+        receivers = [user.public] + [u.public for u in others]
+        scheme = BroadcastTimedReleaseScheme(group)
+        with group.counters.measure() as cold:
+            scheme.encrypt_broadcast(
+                b"m" * 32, receivers, server.public_key, LABEL, rng,
+                verify_receiver_keys=False,
+            )
+        _assert_budget_with_advisory(
+            cold, broadcast_encrypt_cost(len(receivers), warm=False)
+        )
+        scheme.precompute_sender(
+            receivers, server.public_key, time_labels=[LABEL]
+        )
+        with group.counters.measure() as warm:
+            scheme.encrypt_broadcast(
+                b"m" * 32, receivers, server.public_key, LABEL, rng,
+                verify_receiver_keys=False,
+            )
+        _assert_budget_with_advisory(
+            warm, broadcast_encrypt_cost(len(receivers), warm=True)
+        )
 
     def test_precomp_update_verify(self, fresh):
         group, server, user = fresh
@@ -232,6 +280,28 @@ class TestPrecomputedBudgets:
         assert (
             TRE_PRECOMP_ENCRYPT_COST.dominant_cost()
             < TRE_COST.encrypt.dominant_cost()
+        )
+        # The GT fast path is the deepest collapse: cheaper than even
+        # the fixed-base-only precomputed encrypt, and an order of
+        # magnitude below the cold path.
+        assert (
+            TRE_GT_ENCRYPT_COST.dominant_cost()
+            < TRE_PRECOMP_ENCRYPT_COST.dominant_cost()
+        )
+        assert (
+            TRE_GT_ENCRYPT_COST.dominant_cost()
+            < TRE_COST.encrypt.dominant_cost() / 10
+        )
+        # Warm broadcast beats N independent warm encrypts (shared U)
+        # and is radically below the cold broadcast.
+        n = 8
+        assert (
+            broadcast_encrypt_cost(n, warm=True).dominant_cost()
+            < n * TRE_GT_ENCRYPT_COST.dominant_cost()
+        )
+        assert (
+            broadcast_encrypt_cost(n, warm=True).dominant_cost()
+            < broadcast_encrypt_cost(n, warm=False).dominant_cost() / 10
         )
         assert (
             PRECOMP_UPDATE_VERIFY_COST.dominant_cost()

@@ -1,0 +1,227 @@
+"""Broadcast TRE: one U and one payload, N per-recipient KEM headers.
+
+The sender-facing contract is the same as single-recipient TRE —
+server-passive, time-gated — plus two broadcast-specific guarantees the
+tests pin down: a receiver can only open *their own* header (AEAD tag
+failure on any other slot, never silent garbage), and the wire format
+round-trips with a variable recipient count.
+"""
+
+import random
+
+import pytest
+
+from repro.core.broadcast import BroadcastCiphertext, BroadcastTimedReleaseScheme
+from repro.core.keys import ServerKeyPair, UserKeyPair
+from repro.core.timeserver import PassiveTimeServer
+from repro.encoding import pack_chunks
+from repro.errors import (
+    DecryptionError,
+    EncodingError,
+    ParameterError,
+    UpdateVerificationError,
+)
+
+LABEL = b"broadcast-release-T"
+MESSAGE = b"one payload, many recipients" * 3
+
+
+@pytest.fixture()
+def setup(group):
+    rng = random.Random(0xB40ADCA57)
+    server = ServerKeyPair.generate(group, rng)
+    users = [UserKeyPair.generate(group, server.public, rng) for _ in range(3)]
+    ts = PassiveTimeServer(group, keypair=server)
+    scheme = BroadcastTimedReleaseScheme(group)
+    return scheme, server, users, ts
+
+
+class TestRoundtrip:
+    def test_every_recipient_decrypts_own_header(self, setup):
+        scheme, server, users, ts = setup
+        ct = scheme.encrypt_broadcast(
+            MESSAGE, [u.public for u in users], server.public, LABEL,
+            random.Random(1),
+        )
+        update = ts.issue_update(LABEL)
+        for i, user in enumerate(users):
+            assert scheme.decrypt_broadcast(ct, i, user, update) == MESSAGE
+
+    def test_decrypt_with_update_verification(self, setup):
+        scheme, server, users, ts = setup
+        ct = scheme.encrypt_broadcast(
+            MESSAGE, [u.public for u in users], server.public, LABEL,
+            random.Random(2),
+        )
+        update = ts.issue_update(LABEL)
+        assert (
+            scheme.decrypt_broadcast(ct, 0, users[0], update, server.public) == MESSAGE
+        )
+
+    def test_single_recipient_broadcast(self, setup):
+        scheme, server, users, ts = setup
+        ct = scheme.encrypt_broadcast(
+            MESSAGE, [users[0].public], server.public, LABEL, random.Random(3)
+        )
+        assert ct.recipients == 1
+        assert scheme.decrypt_broadcast(ct, 0, users[0], ts.issue_update(LABEL)) == MESSAGE
+
+    def test_empty_receivers_rejected(self, setup):
+        scheme, server, _, _ = setup
+        with pytest.raises(ParameterError):
+            scheme.encrypt_broadcast(
+                MESSAGE, [], server.public, LABEL, random.Random(4)
+            )
+
+
+class TestCrossRecipientRejection:
+    def test_receiver_cannot_open_other_header(self, setup):
+        scheme, server, users, ts = setup
+        ct = scheme.encrypt_broadcast(
+            MESSAGE, [u.public for u in users], server.public, LABEL,
+            random.Random(5),
+        )
+        update = ts.issue_update(LABEL)
+        for i, user in enumerate(users):
+            for j in range(len(users)):
+                if j == i:
+                    continue
+                with pytest.raises(DecryptionError):
+                    scheme.open_header(ct, j, user, update)
+
+    def test_outsider_cannot_open_any_header(self, setup, rng):
+        scheme, server, users, ts = setup
+        outsider = UserKeyPair.generate(
+            scheme.group, server.public, random.Random(0x0075)
+        )
+        ct = scheme.encrypt_broadcast(
+            MESSAGE, [u.public for u in users], server.public, LABEL,
+            random.Random(6),
+        )
+        update = ts.issue_update(LABEL)
+        for j in range(len(users)):
+            with pytest.raises(DecryptionError):
+                scheme.open_header(ct, j, outsider, update)
+
+    def test_header_index_out_of_range(self, setup):
+        scheme, server, users, ts = setup
+        ct = scheme.encrypt_broadcast(
+            MESSAGE, [users[0].public], server.public, LABEL, random.Random(7)
+        )
+        update = ts.issue_update(LABEL)
+        for bad in (-1, 1, 99):
+            with pytest.raises(ParameterError):
+                scheme.open_header(ct, bad, users[0], update)
+
+    def test_wrong_time_label_rejected(self, setup):
+        scheme, server, users, ts = setup
+        ct = scheme.encrypt_broadcast(
+            MESSAGE, [users[0].public], server.public, LABEL, random.Random(8)
+        )
+        with pytest.raises(UpdateVerificationError):
+            scheme.decrypt_broadcast(ct, 0, users[0], ts.issue_update(b"other-T"))
+
+    def test_early_update_does_not_open(self, setup):
+        # An update for a different time is the time-gate: no valid
+        # update for T, no DEM key.
+        scheme, server, users, ts = setup
+        ct = scheme.encrypt_broadcast(
+            MESSAGE, [users[0].public], server.public, LABEL, random.Random(9)
+        )
+        early = ts.issue_update(b"earlier-epoch")
+        with pytest.raises(DecryptionError):
+            scheme.open_header(ct, 0, users[0], early)
+
+
+class TestSerialization:
+    def test_roundtrip(self, setup):
+        scheme, server, users, _ = setup
+        group = scheme.group
+        ct = scheme.encrypt_broadcast(
+            MESSAGE, [u.public for u in users], server.public, LABEL,
+            random.Random(10),
+        )
+        decoded = BroadcastCiphertext.from_bytes(group, ct.to_bytes(group))
+        assert decoded == ct
+        assert decoded.recipients == len(users)
+
+    def test_decoded_ciphertext_decrypts(self, setup):
+        scheme, server, users, ts = setup
+        group = scheme.group
+        ct = scheme.encrypt_broadcast(
+            MESSAGE, [u.public for u in users], server.public, LABEL,
+            random.Random(11),
+        )
+        decoded = BroadcastCiphertext.from_bytes(group, ct.to_bytes(group))
+        update = ts.issue_update(LABEL)
+        assert scheme.decrypt_broadcast(decoded, 1, users[1], update) == MESSAGE
+
+    def test_too_few_chunks_rejected(self, setup):
+        scheme, server, users, _ = setup
+        group = scheme.group
+        ct = scheme.encrypt_broadcast(
+            MESSAGE, [users[0].public], server.public, LABEL, random.Random(12)
+        )
+        short = pack_chunks(
+            group.point_to_bytes(ct.u_point), ct.time_label, ct.sealed
+        )
+        with pytest.raises(EncodingError):
+            BroadcastCiphertext.from_bytes(group, short)
+
+    def test_size_grows_per_header_not_per_payload(self, setup):
+        scheme, server, users, _ = setup
+        group = scheme.group
+        ct1 = scheme.encrypt_broadcast(
+            MESSAGE, [users[0].public], server.public, LABEL, random.Random(13)
+        )
+        ct3 = scheme.encrypt_broadcast(
+            MESSAGE, [u.public for u in users], server.public, LABEL,
+            random.Random(13),
+        )
+        growth = ct3.size_bytes(group) - ct1.size_bytes(group)
+        # Two extra headers, each far smaller than a full ciphertext copy.
+        assert growth < 2 * len(ct1.headers[0]) + 32
+        assert growth > 0
+
+
+class TestDeterminismAndFastPath:
+    def test_seeded_rng_is_reproducible(self, setup):
+        scheme, server, users, _ = setup
+        group = scheme.group
+        pubs = [u.public for u in users]
+        a = scheme.encrypt_broadcast(
+            MESSAGE, pubs, server.public, LABEL, random.Random(14)
+        )
+        b = scheme.encrypt_broadcast(
+            MESSAGE, pubs, server.public, LABEL, random.Random(14)
+        )
+        assert a.to_bytes(group) == b.to_bytes(group)
+
+    def test_warm_broadcast_byte_identical_to_cold(self, setup):
+        scheme, server, users, _ = setup
+        group = scheme.group
+        pubs = [u.public for u in users]
+        cold = scheme.encrypt_broadcast(
+            MESSAGE, pubs, server.public, LABEL, random.Random(15),
+            verify_receiver_keys=False,
+        )
+        scheme.precompute_sender(pubs, server.public, time_labels=[LABEL])
+        warm = scheme.encrypt_broadcast(
+            MESSAGE, pubs, server.public, LABEL, random.Random(15),
+            verify_receiver_keys=False,
+        )
+        assert warm.to_bytes(group) == cold.to_bytes(group)
+
+    def test_warm_broadcast_runs_no_pairings(self, setup):
+        scheme, server, users, _ = setup
+        group = scheme.group
+        pubs = [u.public for u in users]
+        scheme.precompute_sender(pubs, server.public, time_labels=[LABEL])
+        with group.counters.measure() as ops:
+            scheme.encrypt_broadcast(
+                MESSAGE, pubs, server.public, LABEL, random.Random(16),
+                verify_receiver_keys=False,
+            )
+        assert "pairing" not in ops
+        assert "hash_to_group" not in ops
+        assert ops.get("gt_fixed_base") == len(users)

@@ -178,3 +178,57 @@ class TestVerifyArchiveParallel:
         assert sequential == sharded == [
             updates[i].time_label for i in (1, 5, 8)
         ]
+
+
+class TestAutoWorkers:
+    """The cost model must refuse to fork when forking is a loss."""
+
+    def test_trivial_batches_sequential(self):
+        assert parallel.auto_workers(0) == 1
+        assert parallel.auto_workers(1) == 1
+
+    def test_single_cpu_sequential(self):
+        assert parallel.auto_workers(1000, cpus=1) == 1
+
+    def test_small_batch_sequential(self):
+        # Warmup (~4 items of work) cannot pay off on a 4-item batch.
+        assert parallel.auto_workers(4, cpus=8) == 1
+
+    def test_large_batch_uses_all_cpus(self):
+        assert parallel.auto_workers(1000, cpus=4) == 4
+
+    def test_worker_count_capped_by_items(self):
+        assert parallel.auto_workers(3, cpus=64) <= 3
+
+    def test_prefers_fewest_workers_among_cost_ties(self):
+        # ceil(10/w) == 2 for w in 5..8, so all four tie; the model
+        # must not spawn processes that cannot reduce the critical path.
+        assert parallel.auto_workers(10, cpus=8) == 5
+
+    def test_parallel_map_none_routes_through_auto(self, group):
+        # Two items -> auto picks sequential; output must be identical
+        # to an explicit workers=1 call.
+        payloads = [b"a", b"b"]
+        auto = parallel.parallel_map("selftest.echo", group, b"S:", payloads)
+        seq = parallel.parallel_map(
+            "selftest.echo", group, b"S:", payloads, workers=1
+        )
+        assert auto == seq == [b"S:a", b"S:b"]
+
+    def test_decrypt_batch_auto_passthrough(self, group, batch):
+        server, scheme, user, update, messages, ciphertexts = batch
+        assert (
+            scheme.decrypt_batch(ciphertexts, user, update, workers="auto")
+            == messages
+        )
+
+    def test_verify_archive_auto_passthrough(self, group, session_rng):
+        server = PassiveTimeServer(group, rng=session_rng)
+        updates = [
+            server.publish_update(f"auto-archive-{i}".encode())
+            for i in range(6)
+        ]
+        assert (
+            verify_archive(group, server.public_key, updates, workers="auto")
+            == []
+        )

@@ -1,0 +1,80 @@
+"""The benchmark regression gate must judge only shared entries.
+
+``--check`` compares freshly measured medians against the committed
+trajectory.  A PR that *adds* benchmark coverage produces fresh-only
+keys; those are informational new entries and must never fail the gate.
+Only a key measured on both sides can regress.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.trajectory import (  # noqa: E402
+    BenchTrajectory,
+    compare_entries,
+    render_comparison,
+)
+
+
+def _entry(key: str, ms: float) -> dict:
+    op, params, variant = key.split(":")
+    return {
+        "op": op,
+        "params": params,
+        "variant": variant,
+        "median_ms": ms,
+        "rounds": 3,
+    }
+
+
+class TestCompareEntries:
+    def test_fresh_only_key_is_informational(self):
+        committed = {"pairing:toy64:direct": _entry("pairing:toy64:direct", 2.0)}
+        fresh = {
+            "pairing:toy64:direct": _entry("pairing:toy64:direct", 2.1),
+            "encrypt:toy64:gt_table": _entry("encrypt:toy64:gt_table", 0.5),
+        }
+        rows, regressions, new_keys = compare_entries(committed, fresh, 0.3)
+        assert regressions == []
+        assert new_keys == ["encrypt:toy64:gt_table"]
+        status = {row[0]: row[4] for row in rows}
+        assert status["encrypt:toy64:gt_table"] == "new"
+        assert status["pairing:toy64:direct"] == "ok"
+
+    def test_new_key_never_regresses_even_when_slow(self):
+        rows, regressions, new_keys = compare_entries(
+            {}, {"slow:toy64:direct": _entry("slow:toy64:direct", 9999.0)}, 0.3
+        )
+        assert regressions == []
+        assert new_keys == ["slow:toy64:direct"]
+
+    def test_shared_key_regression_still_fails(self):
+        committed = {"pairing:toy64:direct": _entry("pairing:toy64:direct", 1.0)}
+        fresh = {"pairing:toy64:direct": _entry("pairing:toy64:direct", 2.0)}
+        rows, regressions, new_keys = compare_entries(committed, fresh, 0.3)
+        assert regressions == ["pairing:toy64:direct"]
+        assert new_keys == []
+
+    def test_committed_only_key_reported_not_gated(self):
+        committed = {"retired:toy64:direct": _entry("retired:toy64:direct", 1.0)}
+        rows, regressions, new_keys = compare_entries(committed, {}, 0.3)
+        assert regressions == [] and new_keys == []
+        assert rows == [("retired:toy64:direct", 1.0, None, None, "not-measured")]
+
+    def test_render_handles_informational_rows(self):
+        committed = {"retired:toy64:direct": _entry("retired:toy64:direct", 1.0)}
+        fresh = {"fresh:toy64:direct": _entry("fresh:toy64:direct", 0.7)}
+        rows, _, _ = compare_entries(committed, fresh, 0.3)
+        table = render_comparison(rows, 0.3)
+        assert "new" in table and "not-measured" in table
+
+
+class TestSpeedupDerivation:
+    def test_speedup_vs_direct(self):
+        traj = BenchTrajectory(path="/nonexistent/unused.json")
+        traj.record("encrypt", "toy64", "direct", 0.010, 3)
+        traj.record("encrypt", "toy64", "gt_table", 0.002, 3)
+        speedups = traj._derive_speedups(traj.entries)
+        assert speedups == {"encrypt:toy64:gt_table": 5.0}
