@@ -14,6 +14,9 @@ merges the results into ``BENCH_pairing.json``:
   ``decrypt`` calls;
 * the multi-pairing verify path (one combined Miller loop, ONE final
   exponentiation) vs. two sequential pairings;
+* archive catch-up throughput: ``verify_archive`` over an N-epoch
+  backlog (shared ``(G, sG)`` Miller lines) vs. N naive per-update
+  verifications — the cost a resilient client pays after an outage;
 * process-parallel ``decrypt_batch`` sharding vs. the sequential path
   (recorded with the machine's CPU count — on a single-core box the
   "speedup" honestly reports ~1x).
@@ -36,7 +39,7 @@ import sys
 
 from benchmarks.trajectory import BenchTrajectory, time_median
 from repro.core.keys import ServerKeyPair, UserKeyPair
-from repro.core.timeserver import PassiveTimeServer
+from repro.core.timeserver import PassiveTimeServer, epoch_label, verify_archive
 from repro.core.tre import TimedReleaseScheme
 from repro.crypto.rng import seeded_rng
 from repro.pairing.api import PairingGroup
@@ -310,6 +313,38 @@ def bench_multi_pair(group, rng, trajectory, rounds):
     return d / f
 
 
+def bench_catchup(group, rng, trajectory, rounds, batch):
+    """Archive catch-up: ``verify_archive`` vs naive per-update verify.
+
+    This is the client-after-an-outage workload from ``repro.service``:
+    a backlog of ``batch`` epoch updates must each pass
+    ``ê(sG, H1(T)) == ê(G, I_T)`` before being trusted.  The direct
+    path clears the caches and verifies update-by-update; the archive
+    path shares the ``(G, sG)`` Miller lines across the whole backlog.
+    """
+    server = PassiveTimeServer(group, rng=rng)
+    updates = [
+        server.publish_update(epoch_label(epoch)) for epoch in range(batch)
+    ]
+    public = server.public_key
+
+    def naive():
+        group.clear_precomputations()
+        assert all(u.verify(group, public) for u in updates)
+
+    def catch_up():
+        group.clear_precomputations()
+        assert verify_archive(group, public, updates) == []
+
+    op = f"catchup_x{batch}"
+    d = trajectory.measure(group, op, "direct", naive, rounds, batch=batch)
+    f = trajectory.measure(
+        group, op, "shared_lines", catch_up, rounds, batch=batch
+    )
+    group.clear_precomputations()
+    return d / f
+
+
 def bench_parallel_decrypt(group, rng, trajectory, rounds, batch, workers=None):
     """``decrypt_batch`` sequential vs sharded across worker processes.
 
@@ -374,6 +409,9 @@ def run_all(group, rng, trajectory, rounds, batch, workers=None):
             group, rng, trajectory, rounds, batch
         ),
         "multi-pair verify": bench_multi_pair(group, rng, trajectory, rounds),
+        f"archive catch-up x{batch}": bench_catchup(
+            group, rng, trajectory, rounds, batch
+        ),
         f"parallel decrypt x{batch}": bench_parallel_decrypt(
             group, rng, trajectory, rounds, batch, workers
         ),

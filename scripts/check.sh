@@ -6,6 +6,9 @@
 #   ./scripts/check.sh --bench    # also run the toy64 smoke benchmark and the
 #                                 # trajectory regression check (advisory —
 #                                 # mirrors CI's non-blocking bench job)
+#   ./scripts/check.sh --chaos    # also run the seeded fault-injection
+#                                 # chaos suite (pytest -m faults) across
+#                                 # the three fixed CI seeds
 #
 # ruff and mypy are optional: they are skipped with a notice when not
 # installed so the gate works on the offline, stdlib-only toolchain the
@@ -17,9 +20,11 @@ cd "$(dirname "$0")/.."
 
 fast=0
 bench=0
+chaos=0
 for arg in "$@"; do
     [ "$arg" = "--fast" ] && fast=1
     [ "$arg" = "--bench" ] && bench=1
+    [ "$arg" = "--chaos" ] && chaos=1
 done
 
 failures=0
@@ -54,6 +59,13 @@ if command -v mypy >/dev/null 2>&1; then
     mypy || echo "mypy reported issues (advisory — not failing the gate)"
 else
     echo "mypy not installed — skipped (config lives in pyproject.toml)"
+fi
+
+if [ "$chaos" -eq 1 ]; then
+    step "chaos suite (pytest -m faults, seeds 101/202/303)"
+    REPRO_CHAOS_SEEDS="101,202,303" \
+        PYTHONPATH=src python -m pytest -q -m faults \
+        || failures=$((failures + 1))
 fi
 
 if [ "$bench" -eq 1 ]; then

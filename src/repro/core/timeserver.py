@@ -31,6 +31,7 @@ from repro.ec.point import CurvePoint
 from repro.encoding import pack_chunks, unpack_chunks
 from repro.errors import (
     EncodingError,
+    ReproError,
     UpdateNotAvailableError,
     UpdateVerificationError,
 )
@@ -91,7 +92,14 @@ class PassiveTimeServer:
         Optional callable returning the current integer epoch.  When
         given, :meth:`publish_update` enforces the §3 trust assumption
         "do not give out any I_T before its release time" for labels
-        created by :func:`epoch_label`.
+        created by :func:`epoch_label`.  Injecting the clock keeps the
+        node, the simulator and the tests off the wall clock entirely.
+    max_clock_skew:
+        Epochs of forward tolerance in the release policy.  A publish
+        for epoch ``now + k`` with ``k <= max_clock_skew`` is allowed —
+        the deterministic treatment of near-boundary publishes when the
+        caller's clock and the server's clock disagree slightly.
+        Defaults to 0 (strict).
     """
 
     def __init__(
@@ -100,15 +108,19 @@ class PassiveTimeServer:
         rng: random.Random | None = None,
         keypair: ServerKeyPair | None = None,
         clock=None,
+        max_clock_skew: int = 0,
     ):
         if keypair is None:
             if rng is None:
                 raise ValueError("need an rng or an existing keypair")
             keypair = ServerKeyPair.generate(group, rng)
+        if max_clock_skew < 0:
+            raise ValueError("max_clock_skew is a non-negative epoch count")
         self.group = group
         self._keypair = keypair
         self._bls = BLSSignatureScheme(group)
         self._clock = clock
+        self.max_clock_skew = max_clock_skew
         # The public archive of past updates (§3: "keep a list of old key
         # updates ... at a publicly accessible place").
         self._archive: dict[bytes, TimeBoundKeyUpdate] = {}
@@ -157,9 +169,10 @@ class PassiveTimeServer:
         except ValueError:
             return  # Free-form labels carry no enforceable ordering.
         now = self._clock()
-        if epoch > now:
+        if epoch > now + self.max_clock_skew:
             raise UpdateNotAvailableError(
-                f"refusing to publish update for epoch {epoch} at time {now}"
+                f"refusing to publish update for epoch {epoch} at time {now} "
+                f"(skew tolerance {self.max_clock_skew})"
             )
 
     # ------------------------------------------------------------------
@@ -177,6 +190,51 @@ class PassiveTimeServer:
 
     def archive_labels(self) -> list[bytes]:
         return sorted(self._archive)
+
+    def archive_since(self, after: bytes = b"") -> list[TimeBoundKeyUpdate]:
+        """Archived updates with labels strictly after ``after``, sorted.
+
+        The catch-up primitive: a receiver that saw nothing since label
+        ``after`` fetches exactly the backlog it missed.  Labels from
+        :func:`epoch_label` sort chronologically; free-form labels sort
+        lexicographically, which is still deterministic.
+        """
+        return [self._archive[label] for label in sorted(self._archive)
+                if label > after]
+
+    def snapshot_archive(self) -> bytes:
+        """Serialize the public archive for crash/restart recovery.
+
+        Only the archive (public data) is serialized — the keypair is
+        the supervisor's responsibility, so no secret ever enters the
+        snapshot.  Restore with :meth:`restore_archive`.
+        """
+        return pack_chunks(
+            *(self._archive[label].to_bytes(self.group)
+              for label in sorted(self._archive))
+        )
+
+    def restore_archive(self, snapshot: bytes) -> int:
+        """Re-load an archive snapshot, verifying every update first.
+
+        Each update must self-authenticate under *this* server's public
+        key — a corrupted or foreign snapshot raises
+        :class:`UpdateVerificationError` rather than poisoning the
+        archive.  Returns the number of updates restored (existing
+        entries are kept; counters are not replayed).
+        """
+        updates = [
+            TimeBoundKeyUpdate.from_bytes(self.group, blob)
+            for blob in unpack_chunks(snapshot)
+        ]
+        for update in updates:
+            update.ensure_valid(self.group, self.public_key)
+        restored = 0
+        for update in updates:
+            if update.time_label not in self._archive:
+                self._archive[update.time_label] = update
+                restored += 1
+        return restored
 
     def __repr__(self) -> str:
         return (
@@ -209,6 +267,14 @@ def verify_archive(
     group's operation counters.  ``workers="auto"`` lets
     :func:`repro.parallel.auto_workers` pick a count from the backlog
     size and available CPUs; ``None`` stays sequential.
+
+    Partial-failure semantics: an update that cannot even be *checked*
+    (a malformed point, a group mismatch, an identity-element input the
+    verifier rejects) counts as failed and verification continues with
+    the rest of the backlog — it never aborts the whole call.  Both
+    paths apply the same per-update containment, so the sequential and
+    parallel answers are identical even with malformed updates mixed
+    into the backlog.
     """
     if workers == "auto":
         from repro.parallel import auto_workers
@@ -217,26 +283,47 @@ def verify_archive(
     if workers is not None and workers > 1 and len(updates) > 1:
         from repro.parallel import parallel_map
 
-        flags = parallel_map(
-            "timeserver.verify_update",
-            group,
-            server_public.to_bytes(group),
-            [update.to_bytes(group) for update in updates],
-            workers=workers,
-            chunk_size=chunk_size,
+        # An update that cannot be wire-encoded (e.g. a point from the
+        # wrong group) is failed here, before dispatch, instead of
+        # aborting the whole shard — same containment as the worker's
+        # per-update decode/verify catch.
+        encoded: list[bytes | None] = []
+        for update in updates:
+            try:
+                encoded.append(update.to_bytes(group))
+            except ReproError:
+                encoded.append(None)
+        payloads = [blob for blob in encoded if blob is not None]
+        flags = iter(
+            parallel_map(
+                "timeserver.verify_update",
+                group,
+                server_public.to_bytes(group),
+                payloads,
+                workers=workers,
+                chunk_size=chunk_size,
+            )
+            if payloads
+            else ()
         )
         return [
             update.time_label
-            for update, flag in zip(updates, flags)
-            if flag != b"\x01"
+            for update, blob in zip(updates, encoded)
+            if blob is None or next(flags) != b"\x01"
         ]
     bls = BLSSignatureScheme(group)
     bls.precompute_public(server_public)
-    return [
-        update.time_label
-        for update in updates
-        if not bls.verify(server_public, update.time_label, update.point)
-    ]
+    failed = []
+    for update in updates:
+        try:
+            ok = bls.verify(server_public, update.time_label, update.point)
+        except ReproError:
+            # An uncheckable update is a failed update, not an abort:
+            # the caller learns *which* labels are bad either way.
+            ok = False
+        if not ok:
+            failed.append(update.time_label)
+    return failed
 
 
 def batch_verify_updates(

@@ -81,3 +81,45 @@ class ParallelExecutionError(ReproError):
     from the parent process; raised instead of letting the pool hang or
     silently drop the failed shard.
     """
+
+
+# ----------------------------------------------------------------------
+# Service-layer taxonomy (repro.service).
+#
+# Retry policies are driven by *exception type*, never by string
+# matching: everything under :class:`TransientServiceError` is worth
+# retrying (possibly against a different source), everything under
+# :class:`PermanentServiceError` is not — repeating the same request
+# can only fail the same way.  Security failures (a forged update) stay
+# in their own classes above; they are never retried against the same
+# payload, only against other sources.
+# ----------------------------------------------------------------------
+
+
+class ServiceError(ReproError):
+    """Base class for time-server service-layer failures."""
+
+
+class TransientServiceError(ServiceError):
+    """A failure that may succeed on retry (timeout, outage, bad bytes
+    on the wire).  Retry policies catch exactly this class."""
+
+
+class ServiceTimeoutError(TransientServiceError):
+    """A request exceeded its per-attempt timeout or overall deadline."""
+
+
+class ServiceUnavailableError(TransientServiceError):
+    """The node is down, restarting, or has not published the requested
+    update yet; the request is fine and should be retried later."""
+
+
+class CircuitOpenError(TransientServiceError):
+    """The circuit breaker for a source is open; the request was not
+    sent.  Transient by definition — the breaker half-opens after its
+    reset timeout."""
+
+
+class PermanentServiceError(ServiceError):
+    """The request itself is invalid (malformed, unknown type); retrying
+    the identical request cannot succeed."""

@@ -282,6 +282,36 @@ class ConcurrencyAnalysis:
                         (func, f"parent-side dispatch in `{func.name}`")
                     )
                     break
+        roots.extend(self._async_task_roots())
+        return roots
+
+    def _async_task_roots(self) -> list[tuple[FunctionInfo, str]]:
+        """Coroutines handed to ``create_task``/``ensure_future``.
+
+        They run concurrently *in the parent* (no fork), so they join
+        parent-reachability: a shard-boundary crossing or lazy global
+        init inside an async task is as parent-side as one on the main
+        call path.  The spawner's argument is usually a coroutine
+        *call* (``loop.create_task(self._scheduler())``); the entry
+        point is that call's callee.
+        """
+        roots: list[tuple[FunctionInfo, str]] = []
+        for func in self.index.all_functions:
+            for node in _own_nodes(func.node):
+                if not isinstance(node, ast.Call) or not node.args:
+                    continue
+                if _terminal(node.func) not in creg.ASYNC_TASK_SPAWNERS:
+                    continue
+                target = node.args[0]
+                if isinstance(target, ast.Call):
+                    target = target.func
+                name = _terminal(target)
+                if name is None:
+                    continue
+                for callee in self._resolve(name):
+                    roots.append(
+                        (callee, f"async task spawned in `{func.name}`")
+                    )
         return roots
 
     def _reach(

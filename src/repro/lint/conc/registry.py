@@ -52,6 +52,15 @@ POOL_RECEIVER_TOKENS = frozenset({"pool", "executor"})
 # Constructors whose ``target=`` keyword is a new-process entry point.
 PROCESS_CLASSES = frozenset({"Process"})
 
+# Event-loop methods/functions whose first argument is a coroutine that
+# then runs *concurrently in the parent process* (the asyncio service
+# layer: epoch schedulers, announce pumps, parked decrypts).  Async
+# tasks are not worker-reachable — no fork is involved — but they are
+# parent-reachable: a pool dispatch or shard-boundary crossing buried
+# inside one must get the same RP303/RP304 scrutiny as one on the main
+# path.
+ASYNC_TASK_SPAWNERS = frozenset({"create_task", "ensure_future"})
+
 # Dispatch methods that yield results in *completion* order rather than
 # submission order — merging them without an explicit reorder is RP305.
 UNORDERED_DISPATCH = frozenset({"imap_unordered", "as_completed"})

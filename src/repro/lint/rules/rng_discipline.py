@@ -36,7 +36,7 @@ class RngDisciplineRule(Rule):
         "take an rng parameter, or call repro.crypto.rng.system_rng(); "
         "seeded_rng belongs in tests/benchmarks/sim/examples"
     )
-    scopes = ("core", "crypto", "ec", "pairing", "math", "baselines")
+    scopes = ("core", "crypto", "ec", "pairing", "math", "baselines", "service")
 
     def check(self, context):
         collect_imports(context, ("random",))

@@ -357,19 +357,31 @@ def _task_timeserver_verify_update(
     """Self-authenticate a shard of archived updates.
 
     ``setup`` is the server public key; each payload is one update.
-    Returns ``b"\\x01"`` (valid) / ``b"\\x00"`` (forged) per update,
-    with the fixed ``(G, sG)`` Miller lines precomputed once per chunk.
+    Returns ``b"\\x01"`` (valid) / ``b"\\x00"`` (forged or malformed)
+    per update, with the fixed ``(G, sG)`` Miller lines precomputed
+    once per chunk.
+
+    A payload that raises a library error — undecodable bytes, a point
+    the verifier rejects — marks *that update* failed instead of
+    aborting the chunk with :class:`ParallelExecutionError`, mirroring
+    the per-update containment of the sequential
+    :func:`~repro.core.timeserver.verify_archive` path so both paths
+    report the same failed labels.
     """
     from repro.core.bls import BLSSignatureScheme
     from repro.core.keys import ServerPublicKey
     from repro.core.timeserver import TimeBoundKeyUpdate
+    from repro.errors import ReproError
 
     server_public = ServerPublicKey.from_bytes(group, setup)
     bls = BLSSignatureScheme(group)
     bls.precompute_public(server_public)
     results = []
     for blob in chunk:
-        update = TimeBoundKeyUpdate.from_bytes(group, blob)
-        valid = bls.verify(server_public, update.time_label, update.point)
+        try:
+            update = TimeBoundKeyUpdate.from_bytes(group, blob)
+            valid = bls.verify(server_public, update.time_label, update.point)
+        except ReproError:
+            valid = False
         results.append(b"\x01" if valid else b"\x00")
     return results

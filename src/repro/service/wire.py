@@ -1,0 +1,196 @@
+"""The service wire protocol: length-framed request/response messages.
+
+Everything the node and client exchange is one :func:`~repro.encoding
+.pack_chunks` frame whose first chunk is a one-byte message type.  The
+payloads reuse the library's own wire encodings (update bytes travel
+exactly as ``TimeBoundKeyUpdate.to_bytes`` produced them), so the
+client's authenticity check operates on the same bytes the archive
+stores.
+
+Malformed input **never** crashes a peer: every structural violation —
+unknown type byte, wrong chunk count, bad framing — raises
+:class:`~repro.errors.DecodingError` from :func:`decode_message`, which
+the client treats as a transient transport failure (corrupt bytes on
+the wire) and the node answers with an ``error`` response.
+
+Message catalogue:
+
+=============  ==========================  ==============================
+Type           Fields                      Meaning
+=============  ==========================  ==============================
+get_update     label                       fetch ``I_T`` for one label
+get_archive    after                       catch-up: all updates with
+                                           label > ``after``
+health         —                           liveness/readiness probe
+update         update_bytes                one ``I_T``
+archive        update_bytes...             the requested backlog
+health_ok      key=value pairs             probe answer
+error          code, detail                failure; ``code`` selects the
+                                           transient/permanent class
+announce       update_bytes                push broadcast of a fresh
+                                           ``I_T``
+=============  ==========================  ==============================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.encoding import pack_chunks, unpack_chunks
+from repro.errors import (
+    DecodingError,
+    PermanentServiceError,
+    ServiceUnavailableError,
+)
+
+# Type bytes.  Requests are < 0x40, pushes 0x40-0x7f, responses >= 0x80.
+GET_UPDATE = 0x01
+GET_ARCHIVE = 0x02
+HEALTH = 0x03
+ANNOUNCE = 0x41
+UPDATE = 0x81
+ARCHIVE = 0x82
+HEALTH_OK = 0x83
+ERROR = 0xFF
+
+# Error codes carried by `error` responses.  The code — not the detail
+# string — decides which exception class the client raises.
+ERR_UNAVAILABLE = b"unavailable"  # not published yet / node restarting
+ERR_BAD_REQUEST = b"bad-request"  # malformed or unknown request
+
+_ERROR_CLASSES = {
+    ERR_UNAVAILABLE: ServiceUnavailableError,
+    ERR_BAD_REQUEST: PermanentServiceError,
+}
+
+
+@dataclass(frozen=True)
+class GetUpdate:
+    label: bytes
+
+
+@dataclass(frozen=True)
+class GetArchive:
+    after: bytes = b""
+
+
+@dataclass(frozen=True)
+class Health:
+    pass
+
+
+@dataclass(frozen=True)
+class Announce:
+    update_bytes: bytes
+
+
+@dataclass(frozen=True)
+class UpdateResponse:
+    update_bytes: bytes
+
+
+@dataclass(frozen=True)
+class ArchiveResponse:
+    update_blobs: tuple[bytes, ...]
+
+
+@dataclass(frozen=True)
+class HealthResponse:
+    fields: tuple[tuple[bytes, bytes], ...]
+
+    def as_dict(self) -> dict[bytes, bytes]:
+        return dict(self.fields)
+
+
+@dataclass(frozen=True)
+class ErrorResponse:
+    code: bytes
+    detail: bytes
+
+    def to_exception(self) -> Exception:
+        """The typed exception this error response stands for.
+
+        Unknown codes degrade to the *transient* class: a peer speaking
+        a newer protocol revision should be retried, not abandoned.
+        """
+        cls = _ERROR_CLASSES.get(self.code, ServiceUnavailableError)
+        return cls(self.detail.decode("utf-8", "replace"))
+
+
+Message = (
+    GetUpdate
+    | GetArchive
+    | Health
+    | Announce
+    | UpdateResponse
+    | ArchiveResponse
+    | HealthResponse
+    | ErrorResponse
+)
+
+
+def encode_message(message: Message) -> bytes:
+    if isinstance(message, GetUpdate):
+        return pack_chunks(bytes([GET_UPDATE]), message.label)
+    if isinstance(message, GetArchive):
+        return pack_chunks(bytes([GET_ARCHIVE]), message.after)
+    if isinstance(message, Health):
+        return pack_chunks(bytes([HEALTH]))
+    if isinstance(message, Announce):
+        return pack_chunks(bytes([ANNOUNCE]), message.update_bytes)
+    if isinstance(message, UpdateResponse):
+        return pack_chunks(bytes([UPDATE]), message.update_bytes)
+    if isinstance(message, ArchiveResponse):
+        return pack_chunks(bytes([ARCHIVE]), *message.update_blobs)
+    if isinstance(message, HealthResponse):
+        flat: list[bytes] = []
+        for key, value in message.fields:
+            flat.append(key)
+            flat.append(value)
+        return pack_chunks(bytes([HEALTH_OK]), *flat)
+    if isinstance(message, ErrorResponse):
+        return pack_chunks(bytes([ERROR]), message.code, message.detail)
+    raise PermanentServiceError(f"cannot encode {type(message).__name__}")
+
+
+def decode_message(data: bytes) -> Message:
+    """Parse one wire frame; :class:`DecodingError` on anything malformed."""
+    chunks = unpack_chunks(data)
+    if not chunks or len(chunks[0]) != 1:
+        raise DecodingError("service message must start with a type byte")
+    kind = chunks[0][0]
+    body = chunks[1:]
+    if kind == GET_UPDATE:
+        _expect(body, 1, "get_update")
+        return GetUpdate(body[0])
+    if kind == GET_ARCHIVE:
+        _expect(body, 1, "get_archive")
+        return GetArchive(body[0])
+    if kind == HEALTH:
+        _expect(body, 0, "health")
+        return Health()
+    if kind == ANNOUNCE:
+        _expect(body, 1, "announce")
+        return Announce(body[0])
+    if kind == UPDATE:
+        _expect(body, 1, "update")
+        return UpdateResponse(body[0])
+    if kind == ARCHIVE:
+        return ArchiveResponse(tuple(body))
+    if kind == HEALTH_OK:
+        if len(body) % 2:
+            raise DecodingError("health_ok needs key/value pairs")
+        return HealthResponse(
+            tuple((body[i], body[i + 1]) for i in range(0, len(body), 2))
+        )
+    if kind == ERROR:
+        _expect(body, 2, "error")
+        return ErrorResponse(body[0], body[1])
+    raise DecodingError(f"unknown service message type 0x{kind:02x}")
+
+
+def _expect(body: list[bytes], count: int, name: str) -> None:
+    if len(body) != count:
+        raise DecodingError(
+            f"{name} message needs {count} field(s), got {len(body)}"
+        )

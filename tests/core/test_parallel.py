@@ -179,6 +179,62 @@ class TestVerifyArchiveParallel:
             updates[i].time_label for i in (1, 5, 8)
         ]
 
+    def _off_curve_update(self, group, rng, label):
+        """An update whose point satisfies nothing: ``to_bytes`` works
+        but a worker's ``from_bytes`` raises ``NotOnCurveError``."""
+        from repro.ec.point import CurvePoint
+
+        point = group.random_point(rng)
+        one = point.y / point.y
+        return TimeBoundKeyUpdate(
+            label, CurvePoint(point.curve, point.x, point.y + one)
+        )
+
+    def test_worker_raising_update_marks_failed_not_aborts(
+        self, group, archive, rng
+    ):
+        """Partial-failure semantics: an update the worker cannot even
+        decode is a *failed update*, not a ``ParallelExecutionError``
+        aborting the whole batch (regression)."""
+        server, updates = archive
+        tampered = list(updates)
+        tampered[3] = self._off_curve_update(
+            group, rng, updates[3].time_label
+        )
+        sequential = verify_archive(group, server.public_key, tampered)
+        sharded = verify_archive(
+            group, server.public_key, tampered, workers=3, chunk_size=2
+        )
+        assert sequential == sharded == [updates[3].time_label]
+
+    def test_mixed_failure_modes_identical_lists(self, group, archive, rng):
+        """Forged points, off-curve points and honest updates mixed:
+        sequential and parallel must report the same labels in the
+        same order."""
+        server, updates = archive
+        tampered = list(updates)
+        tampered[1] = TimeBoundKeyUpdate(
+            updates[1].time_label, group.random_point(rng)
+        )
+        tampered[4] = self._off_curve_update(
+            group, rng, updates[4].time_label
+        )
+        tampered[7] = self._off_curve_update(
+            group, rng, updates[7].time_label
+        )
+        expected = [updates[i].time_label for i in (1, 4, 7)]
+        for workers, chunk_size in ((None, None), (2, 3), (4, 1)):
+            assert (
+                verify_archive(
+                    group,
+                    server.public_key,
+                    tampered,
+                    workers=workers,
+                    chunk_size=chunk_size,
+                )
+                == expected
+            )
+
 
 class TestAutoWorkers:
     """The cost model must refuse to fork when forking is a loss."""

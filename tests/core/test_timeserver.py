@@ -116,3 +116,74 @@ class TestReleasePolicy:
         # But an honest publish of the same label still refuses.
         with pytest.raises(UpdateNotAvailableError):
             server.publish_update(epoch_label(10**6))
+
+
+class TestClockSkewTolerance:
+    def test_skew_widens_the_release_window(self, group, rng):
+        clock = {"now": 5}
+        server = PassiveTimeServer(
+            group, rng=rng, clock=lambda: clock["now"], max_clock_skew=2
+        )
+        # A client whose clock runs up to 2 epochs ahead is tolerated...
+        server.publish_update(epoch_label(6))
+        server.publish_update(epoch_label(7))
+        # ...but no further.
+        with pytest.raises(UpdateNotAvailableError):
+            server.publish_update(epoch_label(8))
+
+    def test_zero_skew_is_strict(self, group, rng):
+        server = PassiveTimeServer(group, rng=rng, clock=lambda: 5)
+        with pytest.raises(UpdateNotAvailableError):
+            server.publish_update(epoch_label(6))
+
+    def test_negative_skew_rejected(self, group, rng):
+        with pytest.raises(ValueError):
+            PassiveTimeServer(group, rng=rng, max_clock_skew=-1)
+
+
+class TestSnapshotRestore:
+    def test_roundtrip_restores_every_update(self, group, rng):
+        server = PassiveTimeServer(group, rng=rng)
+        for epoch in range(4):
+            server.publish_update(epoch_label(epoch))
+        snapshot = server.snapshot_archive()
+
+        reborn = PassiveTimeServer(group, keypair=server._keypair)
+        assert reborn.restore_archive(snapshot) == 4
+        assert reborn.archive_labels() == server.archive_labels()
+        for label in server.archive_labels():
+            assert reborn.lookup(label) == server.lookup(label)
+
+    def test_restore_is_idempotent(self, group, rng):
+        server = PassiveTimeServer(group, rng=rng)
+        server.publish_update(epoch_label(0))
+        snapshot = server.snapshot_archive()
+        assert server.restore_archive(snapshot) == 0  # all already present
+
+    def test_snapshot_contains_no_secret(self, group, rng):
+        server = PassiveTimeServer(group, rng=rng)
+        server.publish_update(epoch_label(0))
+        snapshot = server.snapshot_archive()
+        secret = server._keypair.private.to_bytes(
+            (server._keypair.private.bit_length() + 7) // 8, "big"
+        )
+        assert secret not in snapshot
+
+    def test_foreign_snapshot_rejected(self, group, rng):
+        honest = PassiveTimeServer(group, rng=rng)
+        imposter = PassiveTimeServer(group, rng=rng)
+        imposter.publish_update(epoch_label(0))
+        with pytest.raises(UpdateVerificationError):
+            honest.restore_archive(imposter.snapshot_archive())
+
+    def test_archive_since_is_strictly_greater(self, group, rng):
+        server = PassiveTimeServer(group, rng=rng)
+        for epoch in range(5):
+            server.publish_update(epoch_label(epoch))
+        since = server.archive_since(epoch_label(2))
+        assert [u.time_label for u in since] == [
+            epoch_label(3), epoch_label(4)
+        ]
+        assert server.archive_since(b"") == [
+            server.lookup(epoch_label(e)) for e in range(5)
+        ]

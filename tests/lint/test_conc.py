@@ -142,6 +142,49 @@ def test_worker_only_lazy_init_is_quiet():
     assert not findings
 
 
+def test_async_task_spawn_roots_parent_reachability():
+    """A coroutine handed to ``create_task`` runs in the parent: a lazy
+    global init shared between it and worker code straddles the fork
+    (the service layer's schedulers and pumps get real scrutiny)."""
+    shared = (
+        "import asyncio\n"
+        "from repro.parallel import register_task\n"
+        "\n"
+        "_CACHE = {}\n"
+        "\n"
+        "\n"
+        "def _lookup(name):\n"
+        "    value = _CACHE.get(name)\n"
+        "    if value is None:\n"
+        "        value = name.upper()\n"
+        "        _CACHE[name] = value\n"
+        "    return value\n"
+        "\n"
+        "\n"
+        '@register_task("svc.lookup")\n'
+        "def task(group, setup, chunk):\n"
+        "    return [_lookup(str(item)) for item in chunk]\n"
+    )
+    spawn = (
+        "\n"
+        "\n"
+        "async def _refresher():\n"
+        '    return _lookup("hot")\n'
+        "\n"
+        "\n"
+        "def start(loop):\n"
+        "    loop.create_task(_refresher())\n"
+    )
+    # Worker-only: per-process state, quiet (same as the test above).
+    quiet, _ = lint_source(shared, "cache.py", package_path="svc/cache.py")
+    assert not quiet
+    # Add an async task touching the same cache: now it straddles.
+    findings, _ = lint_source(
+        shared + spawn, "cache.py", package_path="svc/cache.py"
+    )
+    assert any(f.rule == "RP304" for f in findings)
+
+
 def test_waiver_suppresses_conc_finding():
     src = (
         "from repro.parallel import register_task\n"

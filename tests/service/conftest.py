@@ -1,0 +1,27 @@
+"""Fixtures for the service-layer suite.
+
+Everything runs on :class:`~repro.service.virtualtime.VirtualTimeLoop`
+with seeded RNGs — no wall clock, no real sleeping, no sockets.
+"""
+
+import pytest
+
+from repro.core.keys import ServerKeyPair, UserKeyPair
+from repro.core.tre import TimedReleaseScheme
+from repro.crypto.rng import seeded_rng
+
+
+@pytest.fixture(scope="session")
+def scheme(group) -> TimedReleaseScheme:
+    return TimedReleaseScheme(group)
+
+
+@pytest.fixture(scope="session")
+def node_keypair(group) -> ServerKeyPair:
+    """The service node's identity (distinct from the `server` fixture)."""
+    return ServerKeyPair.generate(group, seeded_rng(0x5EED))
+
+
+@pytest.fixture(scope="session")
+def node_user(group, node_keypair) -> UserKeyPair:
+    return UserKeyPair.generate(group, node_keypair.public, seeded_rng(0xFACE))

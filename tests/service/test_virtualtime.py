@@ -1,0 +1,85 @@
+"""The virtual-time loop: instant, ordered, deadlock-detecting."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.service.virtualtime import VirtualTimeLoop, run_virtual
+
+
+class TestVirtualClock:
+    def test_sleep_advances_clock_without_waiting(self):
+        async def main():
+            loop = asyncio.get_event_loop()
+            start = loop.time()
+            await asyncio.sleep(3600.0)
+            return loop.time() - start
+
+        # An hour of simulated time; the test itself is instant.
+        assert run_virtual(main()) == pytest.approx(3600.0)
+
+    def test_clock_starts_at_zero(self):
+        async def main():
+            return asyncio.get_event_loop().time()
+
+        assert run_virtual(main()) == 0.0
+
+    def test_wait_for_times_out_at_virtual_deadline(self):
+        async def main():
+            loop = asyncio.get_event_loop()
+            with pytest.raises(asyncio.TimeoutError):
+                await asyncio.wait_for(asyncio.Event().wait(), timeout=5.0)
+            return loop.time()
+
+        assert run_virtual(main()) == pytest.approx(5.0)
+
+    def test_timers_fire_in_deadline_order(self):
+        async def main():
+            order = []
+
+            async def after(delay, tag):
+                await asyncio.sleep(delay)
+                order.append(tag)
+
+            await asyncio.gather(
+                after(2.0, "a"), after(1.0, "b"), after(3.0, "c")
+            )
+            return order
+
+        assert run_virtual(main()) == ["b", "a", "c"]
+
+    def test_advance_rejects_negative(self):
+        loop = VirtualTimeLoop()
+        try:
+            with pytest.raises(SimulationError):
+                loop.advance(-1.0)
+        finally:
+            loop.close()
+
+
+class TestDeadlockDetection:
+    def test_blocked_forever_raises_instead_of_hanging(self):
+        async def main():
+            await asyncio.get_event_loop().create_future()
+
+        with pytest.raises(SimulationError, match="deadlock"):
+            run_virtual(main())
+
+    def test_pending_background_tasks_cancelled_on_exit(self):
+        cancelled = []
+
+        async def background():
+            try:
+                await asyncio.sleep(10**9)
+            except asyncio.CancelledError:
+                cancelled.append(True)
+                raise
+
+        async def main():
+            asyncio.get_event_loop().create_task(background())
+            await asyncio.sleep(1.0)
+            return "done"
+
+        assert run_virtual(main()) == "done"
+        assert cancelled == [True]

@@ -1,0 +1,85 @@
+"""Wire protocol roundtrips and malformed-frame behaviour."""
+
+import pytest
+
+from repro.errors import (
+    DecodingError,
+    PermanentServiceError,
+    ServiceUnavailableError,
+)
+from repro.service import wire
+
+MESSAGES = [
+    wire.GetUpdate(b"epoch:000000000007"),
+    wire.GetArchive(b""),
+    wire.GetArchive(b"epoch:000000000003"),
+    wire.Health(),
+    wire.Announce(b"update-bytes"),
+    wire.UpdateResponse(b"update-bytes"),
+    wire.ArchiveResponse(()),
+    wire.ArchiveResponse((b"one", b"two", b"three")),
+    wire.HealthResponse(((b"status", b"ok"), (b"epoch", b"12"))),
+    wire.ErrorResponse(wire.ERR_UNAVAILABLE, b"not yet"),
+]
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize(
+        "message", MESSAGES, ids=lambda m: type(m).__name__
+    )
+    def test_roundtrip(self, message):
+        assert wire.decode_message(wire.encode_message(message)) == message
+
+    def test_health_response_as_dict(self):
+        response = wire.HealthResponse(((b"status", b"ok"),))
+        assert response.as_dict() == {b"status": b"ok"}
+
+
+class TestErrorMapping:
+    def test_unavailable_is_transient(self):
+        exc = wire.ErrorResponse(wire.ERR_UNAVAILABLE, b"x").to_exception()
+        assert isinstance(exc, ServiceUnavailableError)
+
+    def test_bad_request_is_permanent(self):
+        exc = wire.ErrorResponse(wire.ERR_BAD_REQUEST, b"x").to_exception()
+        assert isinstance(exc, PermanentServiceError)
+
+    def test_unknown_code_degrades_to_transient(self):
+        exc = wire.ErrorResponse(b"code-from-the-future", b"x").to_exception()
+        assert isinstance(exc, ServiceUnavailableError)
+
+
+class TestMalformed:
+    def test_empty_frame(self):
+        with pytest.raises(DecodingError):
+            wire.decode_message(b"")
+
+    def test_unframed_garbage(self):
+        with pytest.raises(DecodingError):
+            wire.decode_message(b"\xde\xad\xbe\xef")
+
+    def test_unknown_type_byte(self):
+        from repro.encoding import pack_chunks
+
+        with pytest.raises(DecodingError, match="unknown"):
+            wire.decode_message(pack_chunks(b"\x7e"))
+
+    def test_wrong_field_count(self):
+        from repro.encoding import pack_chunks
+
+        with pytest.raises(DecodingError, match="field"):
+            wire.decode_message(
+                pack_chunks(bytes([wire.GET_UPDATE]), b"a", b"b")
+            )
+
+    def test_multibyte_type_rejected(self):
+        from repro.encoding import pack_chunks
+
+        with pytest.raises(DecodingError):
+            wire.decode_message(pack_chunks(b"\x01\x01", b"label"))
+
+    def test_odd_health_fields_rejected(self):
+        from repro.encoding import pack_chunks
+
+        with pytest.raises(DecodingError, match="pairs"):
+            wire.decode_message(pack_chunks(bytes([wire.HEALTH_OK]), b"key"))

@@ -51,7 +51,7 @@ PUBLIC_SURFACE = {
         "DrandStyleBeacon", "TimelockEncryption", "Type3TimedRelease",
         "RoundSignature", "round_label",
     ],
-    "repro.core.timeserver": ["batch_verify_updates"],
+    "repro.core.timeserver": ["batch_verify_updates", "verify_archive"],
     "repro.baselines": [
         "HashedElGamal", "ExponentialElGamal", "BonehFranklinIBE",
         "HybridPkeIbeTimedRelease", "TimeLockPuzzle", "TimedCommitmentScheme",
@@ -76,12 +76,21 @@ PUBLIC_SURFACE = {
         "OpBudget", "SchemeCost", "TRE_COST", "IDTRE_COST", "HYBRID_COST",
         "multiserver_cost", "resilient_cost", "cost_table",
     ],
+    "repro.service": [
+        "TimeServerNode", "LocalNodeTransport", "ResilientTimeClient",
+        "Deadline", "ExponentialBackoff", "CircuitBreaker",
+        "FaultPlan", "FaultyTransport", "FaultyChannel", "NodeChaos",
+        "VirtualTimeLoop", "run_virtual",
+    ],
     "repro.cli": ["main", "build_parser"],
     "repro.errors": [
         "ReproError", "ParameterError", "KeyValidationError",
         "DecryptionError", "UpdateVerificationError",
         "UpdateNotAvailableError", "PolicyError", "ProtocolError",
-        "SimulationError", "EncodingError",
+        "SimulationError", "EncodingError", "ServiceError",
+        "TransientServiceError", "PermanentServiceError",
+        "ServiceTimeoutError", "ServiceUnavailableError",
+        "CircuitOpenError",
     ],
 }
 

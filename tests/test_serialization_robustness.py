@@ -10,12 +10,14 @@ the wrong plaintext, never to crash elsewhere.
 
 import random
 
+from repro.core.broadcast import BroadcastCiphertext, BroadcastTimedReleaseScheme
 from repro.core.keys import ServerPublicKey, UserPublicKey
 from repro.core.resilient import ResilientTimeServer, ResilientUpdate
 from repro.core.threshold import ThresholdTimeServer, UpdateShare
-from repro.core.timeserver import TimeBoundKeyUpdate
+from repro.core.timeserver import PassiveTimeServer, TimeBoundKeyUpdate
 from repro.core.tre import TimedReleaseScheme, TRECiphertext
 from repro.errors import ReproError
+from repro.service import wire
 
 FUZZ_ROUNDS = 40
 
@@ -101,6 +103,76 @@ class TestWireRobustness:
             blob,
             reencode=lambda u: u.to_bytes(group),
         )
+
+    def test_broadcast_ciphertext(self, group, server, rng):
+        scheme = BroadcastTimedReleaseScheme(group)
+        receivers = [
+            scheme._kem.generate_user_keypair(server.public_key, rng).public
+            for _ in range(3)
+        ]
+        ct = scheme.encrypt_broadcast(
+            b"to everyone", receivers, server.public_key, b"t-bcast", rng
+        )
+        _assert_clean(
+            lambda b: BroadcastCiphertext.from_bytes(group, b),
+            ct.to_bytes(group),
+            reencode=lambda c: c.to_bytes(group),
+        )
+
+    def test_service_wire_frames(self, group, server):
+        update_bytes = server.publish_update(b"fuzz-wire").to_bytes(group)
+        frames = [
+            wire.encode_message(wire.GetUpdate(b"fuzz-wire")),
+            wire.encode_message(wire.UpdateResponse(update_bytes)),
+            wire.encode_message(wire.ArchiveResponse((update_bytes,))),
+            wire.encode_message(
+                wire.HealthResponse(((b"status", b"ok"),))
+            ),
+            wire.encode_message(
+                wire.ErrorResponse(wire.ERR_UNAVAILABLE, b"detail")
+            ),
+        ]
+        for blob in frames:
+            _assert_clean(
+                wire.decode_message,
+                blob,
+                reencode=wire.encode_message,
+            )
+
+    def test_archive_snapshot(self, group, rng):
+        """Crash-recovery snapshots are wire input too."""
+        server = PassiveTimeServer(group, rng=rng)
+        for epoch in range(3):
+            server.publish_update(b"snap-%d" % epoch)
+        blob = server.snapshot_archive()
+        fresh = PassiveTimeServer(group, keypair=server._keypair)
+        fuzz_rng = random.Random(0xF423)
+        for mutated in _mutations(blob, fuzz_rng):
+            try:
+                fresh.restore_archive(mutated)
+            except ReproError:
+                continue
+        # Whatever was (validly) restored must still self-authenticate.
+        for label in fresh.archive_labels():
+            assert fresh.lookup(label).verify(group, server.public_key)
+
+
+class TestNoSilentAccept:
+    """A mutant that *parses* must never *verify* (unless unchanged)."""
+
+    def test_bitflipped_update_never_authenticates(self, group, server):
+        update = server.publish_update(b"no-silent-accept")
+        blob = update.to_bytes(group)
+        rng = random.Random(0xACCE97)
+        for _ in range(60):
+            index = rng.randrange(len(blob))
+            mutated = bytearray(blob)
+            mutated[index] ^= 1 << rng.randrange(8)
+            try:
+                parsed = TimeBoundKeyUpdate.from_bytes(group, bytes(mutated))
+            except ReproError:
+                continue
+            assert not parsed.verify(group, server.public_key)
 
 
 class TestRoundTrips:
