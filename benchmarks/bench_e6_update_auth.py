@@ -97,7 +97,7 @@ def test_e6_batch_verify_backlog(benchmark, bench_group, bench_server, bench_rng
         )
     with bench_group.counters.measure() as individual:
         for update in updates:
-            update.verify(bench_group, bench_server.public_key)
+            assert update.verify(bench_group, bench_server.public_key)
     emit(format_table(
         ("strategy", "pairings", "scalar mults"),
         [("one-by-one (16 updates)", individual.get("pairing", 0),

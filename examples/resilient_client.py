@@ -43,7 +43,7 @@ def main() -> None:
     user = UserKeyPair.generate(group, keypair.public, rng)
 
     async def scenario() -> None:
-        loop = asyncio.get_event_loop()
+        loop = asyncio.get_running_loop()
 
         node = TimeServerNode(group, keypair, epoch_interval=1.0)
         await node.start()

@@ -29,6 +29,7 @@ def main() -> None:
     print(f"auction close at t={result.close_time:.0f}s")
     print(
         f"early opening attempts before close: {result.early_opening_attempts}, "
+        f"refused: {result.early_openings_refused}, "
         f"succeeded: {result.early_openings_succeeded}"
     )
     print(f"all bids opened at t={result.opened_at:.2f}s (after the close)")
@@ -42,6 +43,7 @@ def main() -> None:
         f"{'no' if result.ledger.server_learned_nothing() else 'YES - bug!'}"
     )
     assert result.early_openings_succeeded == 0
+    assert result.early_openings_refused == result.early_opening_attempts
     assert result.opened_at >= result.close_time
 
 

@@ -39,13 +39,13 @@ if [ "$fast" -eq 0 ]; then
     PYTHONPATH=src python -m pytest -x -q || failures=$((failures + 1))
 fi
 
-step "crypto-hygiene lint (repro.lint)"
+# One run gates all four families (RP1xx pattern rules, RP2xx taint,
+# RP3xx fork-safety, RP4xx typestate protocols); --jobs parallelizes
+# parsing without changing a byte of the report.
+step "crypto-hygiene lint (repro.lint, RP1xx-RP4xx)"
 PYTHONPATH=src python -m repro.lint src examples benchmarks \
-    --check-baseline --self-time-budget 60 || failures=$((failures + 1))
-
-step "fork-safety lint (RP3xx, scoped)"
-PYTHONPATH=src python -m repro.lint src examples benchmarks \
-    --select RP3 || failures=$((failures + 1))
+    --check-baseline --self-time-budget 60 --jobs 4 \
+    || failures=$((failures + 1))
 
 step "ruff"
 if command -v ruff >/dev/null 2>&1; then

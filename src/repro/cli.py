@@ -179,6 +179,13 @@ def cmd_decrypt(args) -> int:
     user_fields = _read_keyfile(Path(args.user_key), "user-key")
     private = int(user_fields["private"], 16)
     update = TimeBoundKeyUpdate.from_bytes(group, Path(args.update).read_bytes())
+    if not update.verify(group, server_public):
+        print(
+            "FAIL: update does not verify against this server key — "
+            "refusing to decrypt with a forged update",
+            file=sys.stderr,
+        )
+        return 1
     ciphertext = HybridTRECiphertext.from_bytes(
         group, Path(args.infile).read_bytes()
     )

@@ -43,6 +43,21 @@ RP304     fork-unsafe-lazy-init     no process-global first-touch init
                             reachable from both sides of the fork
 RP305     nondeterministic-chunk-order  no worker-result merge through
                             set/dict/completion order
+RP401     unverified-update-use     no wire-decoded update reaches a
+                            cache insert, decrypt, or serialization
+                            sink before the pairing check
+                            ê(sG, H1(T)) == ê(G, I_T) passes
+RP402     unguarded-transport-await no ``await`` on a transport
+                            round-trip outside an asyncio.wait_for /
+                            deadline scope
+RP403     untracked-task    no dropped ``create_task``/``ensure_future``
+                            result — tasks are stored, awaited, or
+                            cancelled
+RP404     unclassified-service-error  service raises use the transient/
+                            permanent taxonomy; broad excepts must
+                            re-raise or classify
+RP405     verify-result-discarded   no verification verdict computed
+                            and thrown away
 ========  ================  ====================================================
 
 RP1xx are single-node pattern rules (:mod:`repro.lint.rules`); RP2xx
@@ -52,7 +67,11 @@ summaries to a fixpoint and reports at the call site that supplies the
 secret, however many calls separate it from the sink; RP3xx come from
 the concurrency/fork-safety pass (:mod:`repro.lint.conc`), which
 reuses the same call graph to decide what runs inside worker processes
-and checks the process-global state it touches.
+and checks the process-global state it touches; RP4xx come from the
+typestate protocol pass (:mod:`repro.lint.proto`), which tracks
+per-variable abstract states (FETCHED < PARAM < VERIFIED for wire-
+decoded updates) through assignments, branches, and interprocedural
+summaries, plus the async-discipline and error-taxonomy checks.
 
 Suppression is explicit and reviewable: an inline
 ``# lint: allow[rule-name] justification`` waiver on (or directly
@@ -75,12 +94,14 @@ from repro.lint.engine import (
 )
 from repro.lint.findings import Finding
 from repro.lint.flow import FLOW_RULES
+from repro.lint.proto import PROTO_RULES
 from repro.lint.rules import ALL_RULES, all_rule_ids, get_rule
 
 __all__ = [
     "ALL_RULES",
     "CONC_RULES",
     "FLOW_RULES",
+    "PROTO_RULES",
     "Finding",
     "LintReport",
     "all_rule_ids",

@@ -27,14 +27,16 @@ ALL_RULES: tuple[Rule, ...] = (
 
 def all_rule_ids() -> tuple[str, ...]:
     """Every rule id the engine can report: AST rules + whole-program
-    families (flow RP2xx, concurrency RP3xx)."""
+    families (flow RP2xx, concurrency RP3xx, protocol RP4xx)."""
     from repro.lint.conc import CONC_RULE_IDS
     from repro.lint.flow import FLOW_RULE_IDS
+    from repro.lint.proto import PROTO_RULE_IDS
 
     return (
         tuple(rule.id for rule in ALL_RULES)
         + tuple(FLOW_RULE_IDS)
         + tuple(CONC_RULE_IDS)
+        + tuple(PROTO_RULE_IDS)
     )
 
 
@@ -47,8 +49,9 @@ def get_rule(identifier: str):
     """
     from repro.lint.conc import CONC_RULES
     from repro.lint.flow import FLOW_RULES
+    from repro.lint.proto import PROTO_RULES
 
-    for rule in (*ALL_RULES, *FLOW_RULES, *CONC_RULES):
+    for rule in (*ALL_RULES, *FLOW_RULES, *CONC_RULES, *PROTO_RULES):
         if identifier in (rule.id, rule.name):
             return rule
     raise KeyError(f"unknown lint rule {identifier!r}")

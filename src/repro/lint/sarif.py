@@ -3,7 +3,7 @@
 Static Analysis Results Interchange Format output lets CI surfaces
 (code-scanning dashboards, editor SARIF viewers) ingest repro.lint
 findings without bespoke glue.  One run, one tool (``repro.lint``),
-every RP1xx/RP2xx/RP3xx rule declared in the driver; new findings are
+every RP1xx/RP2xx/RP3xx/RP4xx rule declared in the driver; new findings are
 plain results, baselined findings are included but marked suppressed so
 dashboards show them greyed-out rather than resurfacing them.
 """
@@ -16,6 +16,7 @@ from repro.lint.conc import CONC_RULES
 from repro.lint.engine import LintReport
 from repro.lint.findings import Finding
 from repro.lint.flow import FLOW_RULES
+from repro.lint.proto import PROTO_RULES
 from repro.lint.rules import ALL_RULES
 
 SARIF_VERSION = "2.1.0"
@@ -38,7 +39,7 @@ def _rule_descriptors() -> list[dict]:
                 "defaultConfiguration": {"level": "error"},
             }
         )
-    for meta in (*FLOW_RULES, *CONC_RULES):
+    for meta in (*FLOW_RULES, *CONC_RULES, *PROTO_RULES):
         descriptors.append(
             {
                 "id": meta.id,

@@ -347,6 +347,9 @@ def _task_tre_decrypt(
     private = int.from_bytes(private_blob, "big")
     update = TimeBoundKeyUpdate.from_bytes(group, update_blob)
     ciphertexts = [TRECiphertext.from_bytes(group, blob) for blob in chunk]
+    # lint: allow[RP401] the update bytes ride the parent's task shard,
+    # verified parent-side before dispatch; re-pairing in every worker
+    # chunk would defeat the batch fast path
     return TimedReleaseScheme(group).decrypt_batch(ciphertexts, private, update)
 
 

@@ -105,6 +105,7 @@ class ResilientTimeClient:
         self.updates: dict[bytes, TimeBoundKeyUpdate] = {}
         self._waiters: dict[bytes, asyncio.Future] = {}
         self._parked: list[asyncio.Task] = []
+        self._listener_task: asyncio.Task | None = None
         # Observability counters (see stats()).
         self.attempts = 0
         self.failovers = 0
@@ -112,7 +113,7 @@ class ResilientTimeClient:
         self.rejected = 0
 
     def _clock(self) -> float:
-        return asyncio.get_event_loop().time()
+        return asyncio.get_running_loop().time()
 
     def _deadline(self, deadline: Deadline | None) -> Deadline:
         if deadline is not None:
@@ -173,9 +174,52 @@ class ResilientTimeClient:
             return None
 
     async def listen(self, queue: asyncio.Queue) -> None:
-        """Consume announce frames forever (run as a background task)."""
+        """Consume announce frames forever (run as a background task).
+
+        Prefer :meth:`start_listening`, which owns the task so
+        :meth:`close` can cancel and await it.
+        """
         while True:
             self.ingest_frame(await queue.get())
+
+    def start_listening(self, queue: asyncio.Queue) -> asyncio.Task:
+        """Spawn (and own) the announce-listener task for ``queue``.
+
+        The client tracks exactly one listener: starting a new one
+        cancels the previous.  :meth:`close` cancels and awaits it, so
+        no announce consumer outlives the client.
+        """
+        if self._listener_task is not None and not self._listener_task.done():
+            self._listener_task.cancel()
+        self._listener_task = asyncio.get_running_loop().create_task(
+            self.listen(queue)
+        )
+        return self._listener_task
+
+    async def close(self) -> None:
+        """Cancel and await the listener and any parked decryptions.
+
+        Idempotent; safe to call with nothing running.  Pending waiters
+        are cancelled too, so a coroutine blocked in :meth:`get_update`
+        fails fast instead of sleeping out its backoff against a closed
+        client.
+        """
+        tasks = [
+            task
+            for task in [self._listener_task, *self._parked]
+            if task is not None and not task.done()
+        ]
+        for task in tasks:
+            task.cancel()
+        if tasks:
+            # Shutdown: outcomes no longer matter, only completion.
+            await asyncio.gather(*tasks, return_exceptions=True)
+        self._listener_task = None
+        self._parked.clear()
+        for waiter in self._waiters.values():
+            if not waiter.done():
+                waiter.cancel()
+        self._waiters.clear()
 
     # ------------------------------------------------------------------
     # One failover sweep: each source once, breaker-gated, with a
@@ -309,7 +353,7 @@ class ResilientTimeClient:
         delay = deadline.clamp(self.backoff.delay(attempt))
         waiter = self._waiters.get(time_label)
         if waiter is None or waiter.done():
-            waiter = asyncio.get_event_loop().create_future()
+            waiter = asyncio.get_running_loop().create_future()
             self._waiters[time_label] = waiter
         await asyncio.wait([waiter], timeout=delay)
 
@@ -401,7 +445,7 @@ class ResilientTimeClient:
         the unbounded default deadline until the release time passes
         and connectivity allows one successful fetch.
         """
-        task = asyncio.get_event_loop().create_task(
+        task = asyncio.get_running_loop().create_task(
             self.decrypt_when_released(
                 scheme, ciphertext, receiver, Deadline.never(self._clock)
             )

@@ -107,7 +107,7 @@ class TimeServerNode:
         return self.keypair.public
 
     def _loop_time(self) -> float:
-        return asyncio.get_event_loop().time() + self.clock_skew
+        return asyncio.get_running_loop().time() + self.clock_skew
 
     def current_epoch(self) -> int:
         """The epoch this node believes it is in (skew included)."""
@@ -132,11 +132,11 @@ class TimeServerNode:
                 max_clock_skew=self.max_clock_skew,
             )
         self.running = True
-        self._started_at = asyncio.get_event_loop().time()
+        self._started_at = asyncio.get_running_loop().time()
         self._next_epoch = self._resume_epoch()
         self._publish_due_epochs()
         self.ready = True
-        self._scheduler_task = asyncio.get_event_loop().create_task(
+        self._scheduler_task = asyncio.get_running_loop().create_task(
             self._scheduler()
         )
 
@@ -194,7 +194,7 @@ class TimeServerNode:
         self.running = True
         self._publish_due_epochs()
         self.ready = True
-        self._scheduler_task = asyncio.get_event_loop().create_task(
+        self._scheduler_task = asyncio.get_running_loop().create_task(
             self._scheduler()
         )
         return restored

@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 
 from repro.core.keys import UserKeyPair
 from repro.core.tre import TimedReleaseScheme
-from repro.errors import SimulationError
+from repro.errors import SimulationError, UpdateNotAvailableError
 from repro.pairing.api import PairingGroup
 from repro.sim.actors import (
     NaiveSenderNode,
@@ -165,6 +165,7 @@ class AuctionResult:
     opened_at: float
     early_opening_attempts: int
     early_openings_succeeded: int
+    early_openings_refused: int
     server_broadcasts: int
     ledger: AnonymityLedger
     bid_bytes: dict[str, int] = field(default_factory=dict)
@@ -224,7 +225,7 @@ def run_sealed_bid_auction(
 
     # The corrupt-agent probe: before the close, try opening with any
     # update the server has actually published (none for the close label).
-    early_results = {"attempts": 0, "succeeded": 0}
+    early_results = {"attempts": 0, "succeeded": 0, "refused": 0}
 
     def attempt_early_opening():
         for name, ciphertext in sealed.items():
@@ -232,8 +233,11 @@ def run_sealed_bid_auction(
             try:
                 server_node.server.lookup(close_label)
                 early_results["succeeded"] += 1
-            except Exception:
-                pass  # No update published yet: the bid stays sealed.
+            except UpdateNotAvailableError:
+                # No update published yet: the bid stays sealed.  The
+                # refusal is the security property — count it so the
+                # result proves every pre-close attempt was denied.
+                early_results["refused"] += 1
 
     for when in early_attempt_times:
         sim.schedule_at(when, attempt_early_opening)
@@ -264,6 +268,7 @@ def run_sealed_bid_auction(
         opened_at=opened_at["time"],
         early_opening_attempts=early_results["attempts"],
         early_openings_succeeded=early_results["succeeded"],
+        early_openings_refused=early_results["refused"],
         server_broadcasts=metrics.channels["updates"].messages,
         ledger=ledger,
     )

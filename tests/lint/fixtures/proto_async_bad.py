@@ -1,0 +1,23 @@
+# lint-fixture: svc/proto_async_bad.py
+"""RP402/RP403 positives: transport round-trips awaited with no
+deadline, and spawned tasks dropped on the floor."""
+
+import asyncio
+
+
+async def fetch_one(transport, payload):
+    return await transport.request(payload)  # EXPECT[RP402]
+
+
+async def poll(sources, payload):
+    for source in sources:
+        await source.fetch(payload)  # EXPECT[RP402]
+
+
+def fire_and_forget(loop, coro):
+    loop.create_task(coro)  # EXPECT[RP403]
+
+
+async def spawn_unread(worker):
+    task = asyncio.ensure_future(worker())  # EXPECT[RP403]
+    return None

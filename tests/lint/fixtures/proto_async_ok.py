@@ -1,0 +1,16 @@
+# lint-fixture: svc/proto_async_ok.py
+"""RP402/RP403 negatives: deadline-scoped awaits and owned tasks."""
+
+import asyncio
+
+
+async def fetch_bounded(transport, payload, timeout):
+    return await asyncio.wait_for(transport.request(payload), timeout)
+
+
+async def spawn_owned(worker):
+    task = asyncio.get_running_loop().create_task(worker())
+    try:
+        return await task
+    finally:
+        task.cancel()

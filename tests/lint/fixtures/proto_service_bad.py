@@ -1,0 +1,19 @@
+# lint-fixture: service/proto_service_bad.py
+"""RP404 positives: a raise outside the transient/permanent taxonomy
+and a broad except that swallows errors without classifying them."""
+
+
+def classify(code):
+    if code == 0:
+        return "ok"
+    raise RuntimeError(f"unknown code {code}")  # EXPECT[RP404]
+
+
+def sweep(sources):
+    results = []
+    for source in sources:
+        try:
+            results.append(source.poll())
+        except Exception:  # EXPECT[RP404]
+            continue
+    return results

@@ -1,0 +1,31 @@
+# lint-fixture: service/proto_service_ok.py
+"""RP404 negatives: taxonomy raises, a specific catch that re-wraps,
+and a broad except that records then re-raises."""
+
+from repro.errors import PermanentServiceError, TransientServiceError
+
+
+def classify(code):
+    if code == 0:
+        return "ok"
+    if code < 0:
+        raise PermanentServiceError(f"bad request {code}")
+    raise TransientServiceError(f"source busy {code}")
+
+
+def sweep(sources):
+    results = []
+    for source in sources:
+        try:
+            results.append(source.poll())
+        except OSError as exc:
+            raise TransientServiceError(str(exc))
+    return results
+
+
+def audited(source, log):
+    try:
+        return source.poll()
+    except Exception:
+        log.append("poll failed")
+        raise

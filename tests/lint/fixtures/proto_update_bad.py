@@ -1,0 +1,36 @@
+# lint-fixture: svc/proto_update_bad.py
+"""RP401/RP405 positives: a wire-decoded update reaches a decrypt, a
+cache insert, re-serialization, and a summarized helper sink while
+still FETCHED — and one verdict is computed then thrown away."""
+
+
+def open_now(group, scheme, ciphertext, private, blob, server_public):
+    update = TimeBoundKeyUpdate.from_bytes(group, blob)
+    return scheme.decrypt(ciphertext, private, update, server_public)  # EXPECT[RP401]
+
+
+def cache_it(group, updates, blob):
+    update = TimeBoundKeyUpdate.from_bytes(group, blob)
+    updates[update.time_label] = update  # EXPECT[RP401]
+
+
+def rebroadcast(group, blob):
+    update = TimeBoundKeyUpdate.from_bytes(group, blob)
+    return update.to_bytes(group)  # EXPECT[RP401]
+
+
+def _store(archive, update):
+    # The sink lives here, but `update` is a parameter (state PARAM):
+    # the finding belongs to whichever call site supplies FETCHED bytes.
+    archive[update.time_label] = update
+
+
+def ingest(group, archive, blob):
+    update = TimeBoundKeyUpdate.from_bytes(group, blob)
+    _store(archive, update)  # EXPECT[RP401]
+
+
+def audit(group, server_public, blob):
+    update = TimeBoundKeyUpdate.from_bytes(group, blob)
+    update.verify(group, server_public)  # EXPECT[RP405]
+    return update

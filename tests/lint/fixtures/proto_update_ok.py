@@ -1,0 +1,40 @@
+# lint-fixture: svc/proto_update_ok.py
+"""RP401/RP405 negatives: every decoded update passes the pairing
+check before any sink — predicate branch, raising guard, batch verify
+with loop promotion, and a verdict consumed through a local."""
+
+
+def open_checked(group, scheme, ciphertext, private, blob, server_public):
+    update = TimeBoundKeyUpdate.from_bytes(group, blob)
+    if not update.verify(group, server_public):
+        raise ValueError("forged update")
+    return scheme.decrypt(ciphertext, private, update, server_public)
+
+
+def ingest_strict(group, archive, blob):
+    update = TimeBoundKeyUpdate.from_bytes(group, blob)
+    update.ensure_valid(group)
+    archive[update.time_label] = update
+
+
+def catch_up(group, server_public, blobs, rng):
+    updates = [TimeBoundKeyUpdate.from_bytes(group, blob) for blob in blobs]
+    if not verify_archive(group, server_public, updates, rng):
+        raise ValueError("bad batch")
+    return [update.to_bytes(group) for update in updates]
+
+
+def replay(group, store, blobs):
+    updates = [TimeBoundKeyUpdate.from_bytes(group, blob) for blob in blobs]
+    for update in updates:
+        update.ensure_valid(group)
+    for update in updates:
+        store[update.time_label] = update
+
+
+def audit_consumed(group, server_public, blob):
+    update = TimeBoundKeyUpdate.from_bytes(group, blob)
+    ok = update.verify(group, server_public)
+    if not ok:
+        raise ValueError("forged update")
+    return update

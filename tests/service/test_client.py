@@ -253,6 +253,36 @@ class TestVerificationGate:
         assert len(cache) == 1
         assert stats["rejected"] == 2
 
+    def test_listener_lifecycle_owned_by_close(self, group, node_keypair):
+        async def main():
+            node = await started_node(group, node_keypair)
+            client = make_client(
+                group, node_keypair, [LocalNodeTransport(node)]
+            )
+            queue = asyncio.Queue()
+            first = client.start_listening(queue)
+            # A second start cancels the first listener: exactly one
+            # announce consumer exists at any time.
+            second = client.start_listening(queue)
+            await asyncio.sleep(0)
+            assert first.cancelled()
+            assert not second.done()
+
+            update = node._server.lookup(node.label_for(0))
+            queue.put_nowait(
+                wire.encode_message(wire.Announce(update.to_bytes(group)))
+            )
+            await asyncio.sleep(0.1)
+            assert len(client.updates) == 1
+
+            await client.close()
+            assert second.cancelled()
+            assert client._listener_task is None
+            # Idempotent: a second close with nothing running is a no-op.
+            await client.close()
+
+        run_virtual(main())
+
 
 class TestCatchUp:
     def test_catch_up_authenticates_the_backlog(self, group, node_keypair):

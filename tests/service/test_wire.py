@@ -1,11 +1,13 @@
 """Wire protocol roundtrips and malformed-frame behaviour."""
 
 import pytest
+from hypothesis import given, strategies as st
 
 from repro.errors import (
     DecodingError,
     PermanentServiceError,
     ServiceUnavailableError,
+    TransientServiceError,
 )
 from repro.service import wire
 
@@ -47,6 +49,38 @@ class TestErrorMapping:
     def test_unknown_code_degrades_to_transient(self):
         exc = wire.ErrorResponse(b"code-from-the-future", b"x").to_exception()
         assert isinstance(exc, ServiceUnavailableError)
+
+
+class TestErrorTaxonomyProperties:
+    """The retry policies partition failures into transient (retry) and
+    permanent (abandon).  Every error code a peer could ever send —
+    known, reserved, or from a future protocol revision — must land in
+    exactly one class, and the degrade-to-transient default must never
+    soften the one code that means *we* sent garbage."""
+
+    @given(code=st.binary(max_size=32), detail=st.binary(max_size=64))
+    def test_every_code_maps_to_exactly_one_class(self, code, detail):
+        exc = wire.ErrorResponse(code, detail).to_exception()
+        transient = isinstance(exc, TransientServiceError)
+        permanent = isinstance(exc, PermanentServiceError)
+        assert transient != permanent  # exactly one, never both or neither
+
+    @given(code=st.binary(max_size=32))
+    def test_degrade_default_never_masks_bad_request(self, code):
+        exc = wire.ErrorResponse(code, b"x").to_exception()
+        if code == wire.ERR_BAD_REQUEST:
+            assert isinstance(exc, PermanentServiceError)
+        else:
+            # Unknown and reserved codes retry; only the codes the
+            # taxonomy explicitly brands permanent may abandon.
+            assert isinstance(exc, TransientServiceError)
+
+    @given(code=st.binary(max_size=32), detail=st.binary(max_size=64))
+    def test_classification_survives_the_wire(self, code, detail):
+        response = wire.ErrorResponse(code, detail)
+        decoded = wire.decode_message(wire.encode_message(response))
+        assert decoded == response
+        assert type(decoded.to_exception()) is type(response.to_exception())
 
 
 class TestMalformed:

@@ -68,6 +68,13 @@ class TestSealedBidAuction:
         assert result.early_opening_attempts > 0
         assert result.early_openings_succeeded == 0
 
+    def test_early_refusals_accounted(self, result):
+        # Every pre-close attempt must be an explicit refusal — a
+        # swallowed unrelated error would leave attempts unaccounted.
+        assert (
+            result.early_openings_refused == result.early_opening_attempts
+        )
+
     def test_bids_open_after_close(self, result):
         assert result.opened_at >= result.close_time
 
