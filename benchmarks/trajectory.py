@@ -67,15 +67,25 @@ class BenchTrajectory:
         median_seconds: float,
         rounds: int,
         op_counts: dict[str, int] | None = None,
+        backend: str | None = None,
         **extra,
     ) -> None:
+        from repro.parallel import available_workers
+
         entry = {
             "op": op,
             "params": params,
             "variant": variant,
             "median_ms": round(median_seconds * 1000, 4),
             "rounds": rounds,
+            # Execution context: medians are only comparable between
+            # runs with the same arithmetic backend on the same CPU
+            # budget, so every entry records both and --check skips
+            # mismatched pairs (see compare_entries).
+            "cpus": available_workers(),
         }
+        if backend is not None:
+            entry["backend"] = backend
         if op_counts:
             entry["op_counts"] = dict(op_counts)
         if extra:
@@ -97,7 +107,7 @@ class BenchTrajectory:
         median = time_median(fn, rounds)
         self.record(
             op, group.params.name, variant, median, rounds,
-            op_counts=counts, **extra,
+            op_counts=counts, backend=group.backend_name, **extra,
         )
         return median
 
@@ -158,6 +168,22 @@ def load_committed(path: pathlib.Path | str | None = None) -> dict[str, dict]:
         return {}
 
 
+#: Entry fields that define the execution context a median was taken
+#: under.  --check only gates committed/fresh pairs whose contexts
+#: match; a committed entry missing a field predates context recording
+#: and matches anything (legacy wildcard).
+CONTEXT_FIELDS = ("backend", "cpus")
+
+
+def _context_mismatch(committed_entry: dict, fresh_entry: dict) -> bool:
+    return any(
+        field in committed_entry
+        and field in fresh_entry
+        and committed_entry[field] != fresh_entry[field]
+        for field in CONTEXT_FIELDS
+    )
+
+
 def compare_entries(
     committed: dict[str, dict],
     fresh: dict[str, dict],
@@ -175,7 +201,12 @@ def compare_entries(
     that adds benchmark coverage passes the gate and the new entries
     are visible in the table.  Committed keys the fresh run did not
     measure appear with status ``"not-measured"`` (also informational —
-    the gate only judges pairs measured on both sides).
+    the gate only judges pairs measured on both sides).  A pair whose
+    recorded execution context (:data:`CONTEXT_FIELDS` — backend, CPU
+    count) disagrees gets status ``"context-differs"``: the ratio is
+    shown but never gated, since a median taken under a different
+    backend or CPU budget is not evidence of a regression.  Committed
+    entries that predate context recording match any context.
     """
     rows: list[tuple] = []
     regressions: list[str] = []
@@ -190,6 +221,11 @@ def compare_entries(
         base_ms = base["median_ms"]
         if not base_ms:
             rows.append((key, base_ms, fresh_ms, None, "no-baseline"))
+            continue
+        if _context_mismatch(base, entry):
+            rows.append((
+                key, base_ms, fresh_ms, fresh_ms / base_ms, "context-differs"
+            ))
             continue
         ratio = fresh_ms / base_ms
         if ratio > 1.0 + tolerance:
@@ -235,18 +271,21 @@ def run_check(
     batch: int = 32,
     workers: int | None = None,
     path: pathlib.Path | str | None = None,
+    backend: str | None = None,
 ) -> int:
     """Re-measure the smoke entries and diff against the committed file.
 
     Never writes the trajectory; returns a process exit code (0 = no
-    regression beyond tolerance, 1 = at least one).
+    regression beyond tolerance, 1 = at least one).  Only entries whose
+    committed execution context (backend, cpus) matches the fresh run
+    are gated; the rest are reported as ``context-differs``.
     """
     from benchmarks import smoke
     from repro.crypto.rng import seeded_rng
     from repro.pairing.api import PairingGroup
 
     committed = load_committed(path)
-    group = PairingGroup(params, family="A")
+    group = PairingGroup(params, family="A", backend=backend)
     rng = seeded_rng(f"smoke:{params}")
     fresh = BenchTrajectory(path)
     smoke.run_all(group, rng, fresh, rounds, batch, workers)
@@ -286,6 +325,10 @@ def main(argv=None) -> int:
                         help="batch size for the batch/parallel entries")
     parser.add_argument("--workers", type=int, default=None,
                         help="worker count for the parallel entry")
+    parser.add_argument("--backend", default=None,
+                        help="field-arithmetic backend for the fresh "
+                             "measurements (python, montgomery, gmpy2, "
+                             "auto; default auto)")
     parser.add_argument("--path", default=None,
                         help="trajectory file (default: repo root "
                              "BENCH_pairing.json)")
@@ -299,6 +342,7 @@ def main(argv=None) -> int:
             batch=args.batch,
             workers=args.workers,
             path=args.path,
+            backend=args.backend,
         )
     # Without --check: print the committed trajectory.
     committed = load_committed(args.path)

@@ -277,11 +277,14 @@ def verify_archive(
     into the backlog.
     """
     if workers == "auto":
-        from repro.parallel import auto_workers
+        from repro.parallel import WORKER_WARMUP_WITH_TABLES_COST, auto_workers
 
-        workers = auto_workers(len(updates))
+        workers = auto_workers(
+            len(updates), warmup=WORKER_WARMUP_WITH_TABLES_COST
+        )
     if workers is not None and workers > 1 and len(updates) > 1:
         from repro.parallel import parallel_map
+        from repro.pairing.supersingular import FAMILY_A
 
         # An update that cannot be wire-encoded (e.g. a point from the
         # wrong group) is failed here, before dispatch, instead of
@@ -294,6 +297,16 @@ def verify_archive(
             except ReproError:
                 encoded.append(None)
         payloads = [blob for blob in encoded if blob is not None]
+        # Record the fixed (G, sG) verification lines once and ship
+        # them; workers install the blob instead of re-recording per
+        # worker (family B has no recordable lines).
+        tables = (
+            group.export_pairing_lines(
+                [server_public.s_generator, server_public.generator]
+            )
+            if group.family == FAMILY_A
+            else None
+        )
         flags = iter(
             parallel_map(
                 "timeserver.verify_update",
@@ -302,6 +315,7 @@ def verify_archive(
                 payloads,
                 workers=workers,
                 chunk_size=chunk_size,
+                shared_tables=tables,
             )
             if payloads
             else ()

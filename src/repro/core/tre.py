@@ -271,9 +271,11 @@ class TimedReleaseScheme:
         if server_public is not None:
             update.ensure_valid(self.group, server_public)
         if workers == "auto":
-            from repro.parallel import auto_workers
+            from repro.parallel import WORKER_WARMUP_WITH_TABLES_COST, auto_workers
 
-            workers = auto_workers(len(ciphertexts))
+            workers = auto_workers(
+                len(ciphertexts), warmup=WORKER_WARMUP_WITH_TABLES_COST
+            )
         if workers is not None and workers > 1 and len(ciphertexts) > 1:
             from repro.parallel import parallel_map, shard_secret
 
@@ -284,6 +286,18 @@ class TimedReleaseScheme:
                 shard_secret(private.to_bytes(self.group.scalar_bytes, "big")),
                 update.to_bytes(self.group),
             )
+            # Record the shared update's Miller lines once, here, and
+            # ship them: workers install the blob instead of each
+            # re-recording the same lines on their first chunk.  (No
+            # lines to ship on family B — its loop has no cacheable
+            # denominator-free form.)
+            from repro.pairing.supersingular import FAMILY_A
+
+            tables = (
+                self.group.export_pairing_lines([update.point])
+                if self.group.family == FAMILY_A
+                else None
+            )
             return parallel_map(
                 "tre.decrypt",
                 self.group,
@@ -291,6 +305,7 @@ class TimedReleaseScheme:
                 [ciphertext.to_bytes(self.group) for ciphertext in ciphertexts],
                 workers=workers,
                 chunk_size=chunk_size,
+                shared_tables=tables,
             )
         precomp = self.group.precompute_pairing(update.point)
         plaintexts = []

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from repro.errors import DecodingError, NotOnCurveError, ParameterError
 from repro.ec.point import CurvePoint
+from repro.math.field import FieldElement, PrimeField
 
 
 class EllipticCurve:
@@ -172,7 +173,14 @@ class EllipticCurve:
 
         Uses Montgomery's trick: one field inversion for the whole batch
         instead of one per point.  Infinity entries come back as ``None``.
+        Over a :class:`~repro.math.field.PrimeField` the inversion runs
+        through the field backend's
+        :meth:`~repro.math.backend.base.FieldBackend.fp_batch_inv` on
+        raw coefficients (same values, no per-step object allocation);
+        extension-field batches keep the generic element path.
         """
+        if isinstance(self.field, PrimeField):
+            return self._batch_to_affine_fp(triples)
         prefix = []
         acc = self.field.one()
         for _, _, z in triples:
@@ -189,6 +197,26 @@ class EllipticCurve:
             inv = inv * z
             zinv_sq = zinv.square()
             out[index] = (x * zinv_sq, y * zinv_sq * zinv)
+        return out
+
+    def _batch_to_affine_fp(self, triples):
+        """Backend-accelerated base-field batch normalization."""
+        field = self.field
+        p = field.p
+        z_values = [z.value for _, _, z in triples if not z.is_zero()]
+        if not z_values:
+            return [None] * len(triples)
+        z_invs = iter(field.backend.fp_batch_inv(z_values))
+        out: list = [None] * len(triples)
+        for index, (x, y, z) in enumerate(triples):
+            if z.is_zero():
+                continue
+            zinv = next(z_invs)
+            zinv_sq = zinv * zinv % p
+            out[index] = (
+                FieldElement(field, x.value * zinv_sq % p),
+                FieldElement(field, y.value * zinv_sq * zinv % p),
+            )
         return out
 
     def _to_jacobian(self, point: CurvePoint):

@@ -1,0 +1,315 @@
+"""The narrow field-arithmetic interface every backend implements.
+
+A :class:`FieldBackend` is bound to one prime modulus ``p`` and exposes
+
+* scalar ``Fp`` operations (add/sub/mul/sqr/inv/pow) on canonical
+  integers in ``[0, p)``,
+* batch inversion (the Montgomery trick: ``n`` inverses for the price
+  of one plus ``3(n-1)`` multiplications),
+* ``Fp2 = Fp[u]/(u^2 - beta)`` operations on coefficient pairs, and
+* the three pairing hot-loop kernels — line-sequence evaluation, the
+  shared-squaring multi-pairing product, and unitary (cyclotomic)
+  exponentiation — that dominate every pairing's wall clock.
+
+Backends trade representation for speed *inside* kernels only.  At the
+object layer (``FieldElement``, ``QuadraticElement``, ``CurvePoint``)
+every value is a canonical integer in ``[0, p)`` regardless of backend,
+so wire formats, hashes and test vectors are byte-identical across
+backends by construction; a backend that uses an internal domain (the
+Montgomery backend's ``R = 2^k`` residues) converts at kernel entry and
+exit, amortizing the conversions over the whole loop.
+
+The base class implements every kernel generically over the integer
+type returned by :meth:`FieldBackend.lift` — the pure-python backend
+lifts to native ``int`` (making the base loops exactly the code that
+previously lived inline in ``repro.pairing.miller`` and
+``repro.math.quadratic``), the gmpy2 backend lifts to ``mpz``.  Only
+:meth:`fp_inv` is abstract.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParameterError
+
+# Line-step kinds, shared with repro.pairing.miller (kept numerically
+# identical; miller.py re-exports them as _LINE/_VERT/_ONE).
+LINE = 0   # chord/tangent: (s_y - yv) - (s_x - xv) * slope
+VERT = 1   # vertical:      s_x - xv
+ONE = 2    # line through infinity: constant 1
+
+
+class FieldBackend:
+    """Arithmetic provider for one prime modulus.
+
+    Subclasses set :attr:`name` and implement :meth:`fp_inv`; everything
+    else has a generic implementation they may override for speed.
+    :attr:`prefers_recorded_miller` tells the Tate engine whether a
+    one-shot pairing should record the Miller-loop line sequence
+    (Jacobian chain + batch inversion — no per-step ``egcd``) instead of
+    running the per-step affine loop.
+    """
+
+    name = "abstract"
+    prefers_recorded_miller = False
+
+    def __init__(self, p: int):
+        # Deliberately permissive: PrimeField(n, check_prime=False) on a
+        # composite modulus is a supported construction (ops mod n, with
+        # inverses defined only for coprime elements); backends that
+        # genuinely need more (Montgomery: odd p) tighten this themselves.
+        if p < 2:
+            raise ParameterError("field backends require a modulus >= 2")
+        self.p = p
+        self._p_lifted = self.lift(p)
+
+    # ------------------------------------------------------------------
+    # Integer lifting.
+    # ------------------------------------------------------------------
+
+    def lift(self, x: int):
+        """Coerce an int into the backend's preferred integer type."""
+        return x
+
+    # ------------------------------------------------------------------
+    # Fp scalar operations (canonical ints in [0, p)).
+    # ------------------------------------------------------------------
+
+    def fp_add(self, x: int, y: int) -> int:
+        return (x + y) % self.p
+
+    def fp_sub(self, x: int, y: int) -> int:
+        return (x - y) % self.p
+
+    def fp_mul(self, x: int, y: int) -> int:
+        return int(self.lift(x) * y % self.p)
+
+    def fp_sqr(self, x: int) -> int:
+        x = self.lift(x)
+        return int(x * x % self.p)
+
+    def fp_pow(self, x: int, exponent: int) -> int:
+        return pow(x, exponent, self.p)
+
+    def fp_inv(self, x: int) -> int:
+        raise NotImplementedError
+
+    def fp_batch_inv(self, values) -> list[int]:
+        """Invert every value with ONE field inversion (Montgomery trick).
+
+        Raises :class:`~repro.errors.ParameterError` via :meth:`fp_inv`
+        if any value is zero (the prefix product is then zero).  Returns
+        canonical ints, same order as the input.
+        """
+        values = [self.lift(v) for v in values]
+        if not values:
+            return []
+        p = self._p_lifted
+        prefix = [0] * len(values)
+        acc = self.lift(1)
+        for index, value in enumerate(values):
+            prefix[index] = acc
+            acc = acc * value % p
+        inv = self.lift(self.fp_inv(int(acc)))
+        out = [0] * len(values)
+        for index in range(len(values) - 1, -1, -1):
+            out[index] = int(inv * prefix[index] % p)
+            inv = inv * values[index] % p
+        return out
+
+    # ------------------------------------------------------------------
+    # Fp2 operations on coefficient pairs (a + b*u, u^2 = beta).
+    # ------------------------------------------------------------------
+
+    def fp2_mul(self, ar: int, ai: int, br: int, bi: int, beta: int):
+        """Karatsuba ``(ar + ai*u)(br + bi*u)`` — 3 mults, lazy sums."""
+        p = self._p_lifted
+        ar, ai = self.lift(ar), self.lift(ai)
+        ac = ar * br
+        bd = ai * bi
+        cross = (ar + ai) * (br + bi) - ac - bd
+        return int((ac + beta * bd) % p), int(cross % p)
+
+    def fp2_sqr(self, ar: int, ai: int, beta: int):
+        p = self._p_lifted
+        ar, ai = self.lift(ar), self.lift(ai)
+        a2 = ar * ar
+        b2 = ai * ai
+        return int((a2 + beta * b2) % p), int(2 * ar * ai % p)
+
+    def fp2_inv(self, ar: int, ai: int, beta: int):
+        """Inverse via the norm: ``(a - bu) / (a^2 - beta*b^2)``."""
+        p = self.p
+        norm = (ar * ar - beta * ai * ai) % p
+        if norm == 0:
+            raise ParameterError("zero has no inverse in Fp2")
+        inv_norm = self.fp_inv(norm)
+        return int(ar * inv_norm % p), int(-ai * inv_norm % p)
+
+    # ------------------------------------------------------------------
+    # Miller-loop kernels.  ``steps`` are the canonical
+    # (is_add, kind, xv, yv, slope) tuples recorded by
+    # repro.pairing.miller; convert_steps may re-represent them once per
+    # (lines, backend) pair — the result is cached by PrecomputedLines.
+    # ------------------------------------------------------------------
+
+    def convert_steps(self, steps: tuple) -> tuple:
+        return steps
+
+    def convert_coords(self, sxa: int, sxb: int, sya: int, syb: int):
+        """Lift one evaluation point's coefficients for the kernels."""
+        return (self.lift(sxa), self.lift(sxb), self.lift(sya), self.lift(syb))
+
+    def eval_line_sequence(self, steps, sxa, sxb, sya, syb, beta):
+        """Accumulate ``Π line_i(S)`` with one Fp2 square per doubling.
+
+        ``steps`` must come from :meth:`convert_steps`; the coordinates
+        from :meth:`convert_coords`.  Returns canonical ``(a, b)`` ints.
+        This loop is the former ``evaluate_line_sequence`` integer body,
+        verbatim — the python backend runs exactly the seed code path.
+        """
+        p = self._p_lifted
+        fa, fb = self.lift(1), self.lift(0)
+        for is_add, kind, xv, yv, slope in steps:
+            if not is_add:
+                a2 = fa * fa
+                b2 = fb * fb
+                fa, fb = (a2 + beta * b2) % p, 2 * fa * fb % p
+            if kind == LINE:
+                va = (sya - yv - (sxa - xv) * slope) % p
+                # Family A distorts to a purely-real x, so the line
+                # value's ``u`` coefficient is the constant ``syb``.
+                vb = (syb - sxb * slope) % p if sxb else syb
+            elif kind == VERT:
+                va = (sxa - xv) % p
+                vb = sxb
+            else:
+                continue
+            if vb:
+                ac = fa * va
+                bd = fb * vb
+                fa, fb = (
+                    (ac + beta * bd) % p,
+                    ((fa + fb) * (va + vb) - ac - bd) % p,
+                )
+            else:
+                fa, fb = fa * va % p, fb * va % p
+        return int(fa), int(fb)
+
+    def eval_line_sequences_product(self, tasks, beta):
+        """``Π f_i(S_i)^{±1}`` with ONE shared squaring chain.
+
+        ``tasks`` is a list of ``(steps, sxa, sxb, sya, syb, conjugate)``
+        with steps/coords already converted; all step sequences must be
+        aligned (same loop order — the caller checks).  Conjugation is
+        a negated ``b`` coefficient, exactly as in the object layer.
+        """
+        p = self._p_lifted
+        shared_steps = tasks[0][0]
+        fa, fb = self.lift(1), self.lift(0)
+        for index in range(len(shared_steps)):
+            if not shared_steps[index][0]:  # is_add flag, shared by all
+                a2 = fa * fa
+                b2 = fb * fb
+                fa, fb = (a2 + beta * b2) % p, 2 * fa * fb % p
+            for steps, sxa, sxb, sya, syb, conjugate in tasks:
+                _, kind, xv, yv, slope = steps[index]
+                if kind == LINE:
+                    va = (sya - yv - (sxa - xv) * slope) % p
+                    vb = (syb - sxb * slope) % p if sxb else syb
+                elif kind == VERT:
+                    va = (sxa - xv) % p
+                    vb = sxb
+                else:
+                    continue
+                if conjugate:
+                    vb = -vb % p
+                if vb:
+                    ac = fa * va
+                    bd = fb * vb
+                    fa, fb = (
+                        (ac + beta * bd) % p,
+                        ((fa + fb) * (va + vb) - ac - bd) % p,
+                    )
+                else:
+                    fa, fb = fa * va % p, fb * va % p
+        return int(fa), int(fb)
+
+    # ------------------------------------------------------------------
+    # Unitary (norm-1) exponentiation: wNAF + cyclotomic squaring.
+    # ------------------------------------------------------------------
+
+    def unitary_exp(self, a: int, b: int, exponent: int, beta: int,
+                    width: int = 4):
+        """``(a + bu) ** exponent`` for unitary ``a + bu``.
+
+        The integer transcription of the former object-level
+        ``repro.math.quadratic.unitary_exp`` ladder: width-``w`` NAF
+        digits, free negative digits via conjugation, and cyclotomic
+        squaring ``(2a^2 - 1, 2ab)``.  Same exact mod-``p`` arithmetic,
+        so the result is bit-identical to the object path.
+        """
+        p = self._p_lifted
+        beta = self.lift(beta)
+        if exponent < 0:
+            b = -b % p
+            exponent = -exponent
+        if exponent == 0:
+            return 1, 0
+        a, b = self.lift(a), self.lift(b)
+        odd_powers = [(a, b)]
+        if width > 2:
+            sq_a, sq_b = (2 * a * a - 1) % p, 2 * a * b % p
+            for _ in range((1 << (width - 2)) - 1):
+                pa, pb = odd_powers[-1]
+                ac = pa * sq_a
+                bd = pb * sq_b
+                odd_powers.append((
+                    (ac + beta * bd) % p,
+                    ((pa + pb) * (sq_a + sq_b) - ac - bd) % p,
+                ))
+        ra = rb = None
+        for digit in reversed(_wnaf_digits_signed(exponent, width)):
+            if ra is not None:
+                ra, rb = (2 * ra * ra - 1) % p, 2 * ra * rb % p
+            if digit:
+                ea, eb = odd_powers[abs(digit) >> 1]
+                if digit < 0:
+                    eb = -eb % p
+                if ra is None:
+                    ra, rb = ea, eb
+                else:
+                    ac = ra * ea
+                    bd = rb * eb
+                    ra, rb = (
+                        (ac + beta * bd) % p,
+                        ((ra + rb) * (ea + eb) - ac - bd) % p,
+                    )
+        if ra is None:  # pragma: no cover - exponent != 0 above
+            return 1, 0
+        return int(ra), int(rb)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(p~2^{self.p.bit_length()})"
+
+
+def _wnaf_digits_signed(exponent: int, width: int) -> list[int]:
+    """Width-``w`` NAF of a non-negative exponent, LSB first (odd
+    digits, ``|d| < 2^(w-1)``); the multiplicative twin of
+    :func:`repro.ec.precompute.wnaf_digits`.  Lives here (not in
+    ``repro.math.quadratic``) so the backend layer has no import edge
+    back into the object layer.
+    """
+    digits = []
+    modulus = 1 << width
+    half = 1 << (width - 1)
+    while exponent:
+        if exponent & 1:
+            digit = exponent & (modulus - 1)
+            if digit >= half:
+                digit -= modulus
+            exponent -= digit
+        else:
+            digit = 0
+        digits.append(digit)
+        exponent >>= 1
+    return digits

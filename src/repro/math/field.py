@@ -11,9 +11,9 @@ from __future__ import annotations
 
 from repro.encoding import byte_length, int_from_bytes, int_to_bytes
 from repro.errors import EncodingError, FieldMismatchError, ParameterError
+from repro.math.backend import FieldBackend, get_backend
 from repro.math.modular import (
     cube_root_mod,
-    inverse_mod,
     is_quadratic_residue,
     sqrt_mod,
 )
@@ -21,15 +21,27 @@ from repro.math.primes import is_probable_prime
 
 
 class PrimeField:
-    """The field of integers modulo a prime ``p``."""
+    """The field of integers modulo a prime ``p``.
 
-    __slots__ = ("p", "element_bytes")
+    ``backend`` selects the arithmetic provider for inversions, modular
+    powers and the pairing kernels (see :mod:`repro.math.backend`): a
+    name (``"python"``, ``"montgomery"``, ``"gmpy2"``, ``"auto"``), an
+    existing :class:`~repro.math.backend.base.FieldBackend` instance, or
+    ``None`` for the pure-python reference backend.  Elements are
+    canonical integers in ``[0, p)`` under every backend, so two fields
+    over the same modulus compare (and interoperate) equal regardless of
+    backend.
+    """
 
-    def __init__(self, p: int, check_prime: bool = True):
+    __slots__ = ("p", "element_bytes", "backend")
+
+    def __init__(self, p: int, check_prime: bool = True,
+                 backend: "str | FieldBackend | None" = None):
         if check_prime and not is_probable_prime(p):
             raise ParameterError(f"field modulus {p} is not prime")
         self.p = p
         self.element_bytes = byte_length(p)
+        self.backend = get_backend("python" if backend is None else backend, p)
 
     def __call__(self, value: int) -> "FieldElement":
         return FieldElement(self, value % self.p)
@@ -61,7 +73,10 @@ class PrimeField:
         return hash(("PrimeField", self.p))
 
     def __repr__(self) -> str:
-        return f"PrimeField(p~2^{self.p.bit_length()})"
+        return (
+            f"PrimeField(p~2^{self.p.bit_length()}, "
+            f"backend={self.backend.name})"
+        )
 
 
 class FieldElement:
@@ -128,10 +143,12 @@ class FieldElement:
     def __pow__(self, exponent: int) -> "FieldElement":
         if exponent < 0:
             return self.inverse() ** (-exponent)
-        return FieldElement(self.field, pow(self.value, exponent, self.field.p))
+        return FieldElement(
+            self.field, self.field.backend.fp_pow(self.value, exponent)
+        )
 
     def inverse(self) -> "FieldElement":
-        return FieldElement(self.field, inverse_mod(self.value, self.field.p))
+        return FieldElement(self.field, self.field.backend.fp_inv(self.value))
 
     def square(self) -> "FieldElement":
         return FieldElement(self.field, self.value * self.value % self.field.p)

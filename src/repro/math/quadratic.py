@@ -14,7 +14,7 @@ from __future__ import annotations
 from repro.encoding import int_from_bytes, int_to_bytes
 from repro.errors import EncodingError, FieldMismatchError, ParameterError
 from repro.math.field import PrimeField
-from repro.math.modular import inverse_mod, is_quadratic_residue
+from repro.math.modular import is_quadratic_residue
 
 __all__ = [
     "QuadraticField",
@@ -26,9 +26,15 @@ __all__ = [
 
 
 class QuadraticField:
-    """``Fp[u]/(u^2 - beta)`` for a quadratic non-residue ``beta``."""
+    """``Fp[u]/(u^2 - beta)`` for a quadratic non-residue ``beta``.
 
-    __slots__ = ("base", "p", "beta", "element_bytes")
+    The field-arithmetic backend is inherited from the base field, so a
+    :class:`~repro.pairing.api.PairingGroup` constructed with
+    ``backend="montgomery"`` routes its ``Fp2`` inversions and unitary
+    exponentiations through the same provider as its ``Fp`` layer.
+    """
+
+    __slots__ = ("base", "p", "beta", "element_bytes", "backend")
 
     def __init__(self, base: PrimeField, beta: int):
         beta %= base.p
@@ -38,6 +44,7 @@ class QuadraticField:
         self.p = base.p
         self.beta = beta
         self.element_bytes = 2 * base.element_bytes
+        self.backend = base.backend
 
     def __call__(self, a: int, b: int = 0) -> "QuadraticElement":
         return QuadraticElement(self, a % self.p, b % self.p)
@@ -201,7 +208,7 @@ class QuadraticElement:
         norm = self.norm()
         if norm == 0:
             raise ParameterError("zero has no inverse in Fp2")
-        inv_norm = inverse_mod(norm, p)
+        inv_norm = self.field.backend.fp_inv(norm)
         return QuadraticElement(
             self.field, self.a * inv_norm % p, -self.b * inv_norm % p
         )
@@ -280,64 +287,31 @@ def cyclotomic_square(x: QuadraticElement) -> QuadraticElement:
     )
 
 
-def _wnaf_digits_signed(exponent: int, width: int) -> list[int]:
-    """Width-``w`` NAF of a non-negative exponent, LSB first (odd digits,
-    ``|d| < 2^(w-1)``); the multiplicative twin of
-    :func:`repro.ec.precompute.wnaf_digits`."""
-    digits = []
-    modulus = 1 << width
-    half = 1 << (width - 1)
-    while exponent:
-        if exponent & 1:
-            digit = exponent & (modulus - 1)
-            if digit >= half:
-                digit -= modulus
-            exponent -= digit
-        else:
-            digit = 0
-        digits.append(digit)
-        exponent >>= 1
-    return digits
-
-
 def unitary_exp(
     base: QuadraticElement, exponent: int, width: int = 4
 ) -> QuadraticElement:
     """``base ** exponent`` for unitary ``base``, wNAF + cyclotomic squaring.
 
     The signed-digit (width-``w`` NAF) recoding halves the window table
-    (odd positive digits only — negative digits use the free
-    :meth:`QuadraticElement.unitary_inverse`) and the ~``bits`` loop
-    squarings each cost 2 base-field multiplications instead of 3.
-    Negative exponents conjugate the base first.  Returns exactly the
-    element the naive square-and-multiply would: every step is the same
-    exact field arithmetic, just cheaper.
+    (odd positive digits only — negative digits conjugate for free) and
+    the ~``bits`` loop squarings each cost 2 base-field multiplications
+    instead of 3.  Negative exponents conjugate the base first.
+
+    The ladder itself runs in the field's arithmetic backend
+    (:meth:`repro.math.backend.base.FieldBackend.unitary_exp`) on raw
+    coefficients: the python backend executes the identical integer
+    steps this function used to perform on ``QuadraticElement`` objects,
+    the Montgomery backend runs the same ladder in its ``R = 2^k``
+    domain, and both return exactly the element the naive
+    square-and-multiply would.
     """
     if width < 2 or width > 8:
         raise ParameterError("wNAF width must be in 2..8")
-    if exponent < 0:
-        base = base.conjugate()
-        exponent = -exponent
-    one = base.field.one()
-    if exponent == 0:
-        return one
-    # Odd powers base^1, base^3, ..., base^(2^(w-1) - 1).
-    odd_powers = [base]
-    if width > 2:
-        base_sq = cyclotomic_square(base)
-        for _ in range((1 << (width - 2)) - 1):
-            odd_powers.append(odd_powers[-1] * base_sq)
-    result = one
-    for digit in reversed(_wnaf_digits_signed(exponent, width)):
-        if result is not one:
-            result = cyclotomic_square(result)
-        if digit > 0:
-            entry = odd_powers[digit >> 1]
-            result = entry if result is one else result * entry
-        elif digit < 0:
-            entry = odd_powers[(-digit) >> 1].conjugate()
-            result = entry if result is one else result * entry
-    return result
+    field = base.field
+    a, b = field.backend.unitary_exp(
+        base.a, base.b, exponent, field.beta, width
+    )
+    return QuadraticElement(field, a, b)
 
 
 class GTFixedBaseTable:

@@ -45,6 +45,7 @@ from repro.pairing.opcount import (
     SCALAR_MULT,
     OperationCounter,
 )
+from repro.pairing.miller import PrecomputedLines
 from repro.pairing.params import ParameterSet, get_parameter_set
 from repro.pairing.supersingular import FAMILY_A, SupersingularCurve
 from repro.pairing.tate import TatePairing, unitary_pow
@@ -124,6 +125,22 @@ class PairingPrecomputation:
             group.ssc.ensure_in_subgroup(point)
             self.lines = group.tate.precompute_lines(point)
 
+    @classmethod
+    def from_lines(cls, group: "PairingGroup", point: CurvePoint, lines):
+        """Wrap already-recorded lines without re-recording them.
+
+        The rehydration half of
+        :meth:`PairingGroup.export_pairing_lines` — worker processes
+        install tables the parent recorded once instead of each paying
+        the recording cost.  The lines are trusted to belong to
+        ``point`` (they came from this library's own export).
+        """
+        precomp = cls.__new__(cls)
+        precomp.group = group
+        precomp.point = point
+        precomp.lines = lines
+        return precomp
+
     def pair(self, q_point: CurvePoint) -> "GTElement":
         """``ê(P, Q)`` — byte-identical to ``group.pair(P, Q)``."""
         self.group.counters.record(PAIRING)
@@ -175,16 +192,27 @@ class PairingGroup:
     family:
         Supersingular family, ``"A"`` (default; denominator-free Miller
         loop) or ``"B"`` (deterministic MapToPoint, general Miller loop).
+    backend:
+        Field-arithmetic backend (see :mod:`repro.math.backend`):
+        ``"python"``, ``"montgomery"``, ``"gmpy2"``, or ``"auto"``
+        (the default, also chosen for ``None``) which picks the fastest
+        available.  Every group element and wire format is byte-identical
+        across backends; only the wall clock changes.
     """
 
-    def __init__(self, params="ss512", family: str = FAMILY_A):
+    def __init__(self, params="ss512", family: str = FAMILY_A,
+                 backend: str | None = None):
         if isinstance(params, str):
             params = get_parameter_set(params)
         if not isinstance(params, ParameterSet):
             raise ParameterError("params must be a name or ParameterSet")
         self.params = params
         self.family = family
-        self.ssc = SupersingularCurve(params, family)
+        self.ssc = SupersingularCurve(
+            params, family, backend="auto" if backend is None else backend
+        )
+        self.backend = self.ssc.fp.backend
+        self.backend_name = self.backend.name
         self.tate = TatePairing(self.ssc)
         self.counters = OperationCounter()
         self.q = params.q
@@ -423,6 +451,81 @@ class PairingGroup:
             self._pairing_precomp[point] = precomp
         return precomp
 
+    # ------------------------------------------------------------------
+    # Shipping precomputed lines between processes.  Layout:
+    #   count(4) || per entry: point(point_bytes) || lines_len(4) || lines
+    # Everything is canonical bytes, so a blob exported under one
+    # backend installs identically under any other.
+    # ------------------------------------------------------------------
+
+    def export_pairing_lines(self, points) -> bytes:
+        """Serialize cached Miller lines for ``points`` into one blob.
+
+        Records any missing lines first (family A only).  The blob feeds
+        :meth:`install_pairing_lines` in another process — typically a
+        :func:`repro.parallel.parallel_map` worker, which then never
+        re-records lines the parent already paid for.
+        """
+        if self.family != FAMILY_A:
+            raise ParameterError(
+                "line export requires the denominator-free (family A) loop"
+            )
+        points = list(points)
+        parts = [len(points).to_bytes(4, "big")]
+        element_bytes = self.ssc.fp.element_bytes
+        for point in points:
+            precomp = self.precompute_pairing(point)
+            if precomp.lines is None:
+                raise ParameterError("cannot export lines for infinity")
+            parts.append(self.point_to_bytes(point))
+            blob = precomp.lines.to_bytes(element_bytes)
+            parts.append(len(blob).to_bytes(4, "big"))
+            parts.append(blob)
+        return b"".join(parts)
+
+    def install_pairing_lines(self, data: bytes) -> int:
+        """Install an :meth:`export_pairing_lines` blob into this group.
+
+        Returns the number of entries installed.  Subsequent
+        :meth:`pair` / :meth:`multi_pair` calls on the covered points hit
+        the cache exactly as if :meth:`precompute_pairing` had recorded
+        them locally — same bytes, none of the recording cost.
+        """
+        from repro.errors import DecodingError, EncodingError
+
+        if len(data) < 4:
+            raise DecodingError("truncated pairing-lines blob")
+        count = int.from_bytes(data[:4], "big")
+        offset = 4
+        element_bytes = self.ssc.fp.element_bytes
+        installed = []
+        for _ in range(count):
+            if len(data) < offset + self.point_bytes + 4:
+                raise DecodingError("truncated pairing-lines blob")
+            point = self.point_from_bytes(
+                data[offset:offset + self.point_bytes]
+            )
+            offset += self.point_bytes
+            blob_len = int.from_bytes(data[offset:offset + 4], "big")
+            offset += 4
+            if len(data) < offset + blob_len:
+                raise DecodingError("truncated pairing-lines blob")
+            try:
+                lines = PrecomputedLines.from_bytes(
+                    data[offset:offset + blob_len], element_bytes
+                )
+            except EncodingError as exc:
+                raise DecodingError(str(exc)) from exc
+            offset += blob_len
+            installed.append((point, lines))
+        if offset != len(data):
+            raise DecodingError("trailing bytes in pairing-lines blob")
+        for point, lines in installed:
+            self._pairing_precomp[point] = PairingPrecomputation.from_lines(
+                self, point, lines
+            )
+        return len(installed)
+
     def clear_precomputations(self) -> None:
         """Drop all fixed-base tables, cached Miller lines, and GT tables.
 
@@ -518,4 +621,7 @@ class PairingGroup:
         return hash(("PairingGroup", self.params.name, self.family))
 
     def __repr__(self) -> str:
-        return f"PairingGroup({self.params.name!r}, family={self.family!r})"
+        return (
+            f"PairingGroup({self.params.name!r}, family={self.family!r}, "
+            f"backend={self.backend_name!r})"
+        )

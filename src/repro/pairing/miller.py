@@ -21,7 +21,8 @@ on ``E(Fp2)``; mixed-field line evaluation embeds the ``Fp`` slope via
 
 from __future__ import annotations
 
-from repro.errors import ParameterError
+from repro.encoding import int_from_bytes, int_to_bytes
+from repro.errors import EncodingError, ParameterError
 from repro.ec.point import CurvePoint
 from repro.math.quadratic import QuadraticElement, QuadraticField
 
@@ -99,16 +100,88 @@ class PrecomputedLines:
     — same field operations in the same order — minus all the point
     arithmetic and slope inversions, which is where the per-pairing
     savings come from.
+
+    ``steps`` are always *canonical* integers in ``[0, p)`` regardless
+    of the evaluating backend; a backend that wants its own
+    representation (Montgomery residues, ``mpz``) converts once through
+    :meth:`backend_steps` and the converted tuple is cached here per
+    backend name.  The canonical steps are also what
+    :meth:`to_bytes` serializes, so a sequence recorded under one
+    backend rehydrates identically under any other.
     """
 
-    __slots__ = ("steps", "order")
+    __slots__ = ("steps", "order", "_backend_steps")
 
     def __init__(self, steps: tuple, order: int):
         self.steps = steps
         self.order = order
+        self._backend_steps: dict[str, tuple] = {}
 
     def __len__(self) -> int:
         return len(self.steps)
+
+    def backend_steps(self, backend) -> tuple:
+        """The steps in ``backend``'s kernel representation (cached)."""
+        converted = self._backend_steps.get(backend.name)
+        if converted is None:
+            converted = backend.convert_steps(self.steps)
+            self._backend_steps[backend.name] = converted
+        return converted
+
+    # ------------------------------------------------------------------
+    # Wire format: ship recorded lines to worker processes instead of
+    # re-recording per worker.  Layout (all big-endian):
+    #   order_len(2) || order || step_count(4) ||
+    #   per step: flags(1: is_add<<2 | kind) || xv || yv || slope
+    # with xv/yv/slope fixed-width at ``element_bytes``.
+    # ------------------------------------------------------------------
+
+    def to_bytes(self, element_bytes: int) -> bytes:
+        order_blob = int_to_bytes(
+            self.order, (self.order.bit_length() + 7) // 8 or 1
+        )
+        parts = [
+            len(order_blob).to_bytes(2, "big"),
+            order_blob,
+            len(self.steps).to_bytes(4, "big"),
+        ]
+        for is_add, kind, xv, yv, slope in self.steps:
+            parts.append(bytes([(int(is_add) << 2) | kind]))
+            parts.append(int_to_bytes(xv, element_bytes))
+            parts.append(int_to_bytes(yv, element_bytes))
+            parts.append(int_to_bytes(slope, element_bytes))
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, data: bytes, element_bytes: int) -> "PrecomputedLines":
+        if len(data) < 6:
+            raise EncodingError("truncated line-sequence encoding")
+        order_len = int.from_bytes(data[:2], "big")
+        offset = 2 + order_len
+        if len(data) < offset + 4:
+            raise EncodingError("truncated line-sequence encoding")
+        order = int_from_bytes(data[2:offset])
+        count = int.from_bytes(data[offset:offset + 4], "big")
+        offset += 4
+        step_size = 1 + 3 * element_bytes
+        if len(data) != offset + count * step_size:
+            raise EncodingError("line-sequence length mismatch")
+        steps = []
+        for _ in range(count):
+            flags = data[offset]
+            kind = flags & 0x03
+            if kind not in (_LINE, _VERT, _ONE) or flags >> 3:
+                raise EncodingError("bad line-step flags")
+            xv = int_from_bytes(data[offset + 1:offset + 1 + element_bytes])
+            yv = int_from_bytes(
+                data[offset + 1 + element_bytes:offset + 1 + 2 * element_bytes]
+            )
+            slope = int_from_bytes(
+                data[offset + 1 + 2 * element_bytes:offset + step_size]
+            )
+            steps.append((bool(flags >> 2), kind, xv, yv, slope))
+            offset += step_size
+        return cls(tuple(steps), order)
 
 
 def _line_coefficients(v: CurvePoint, w: CurvePoint):
@@ -146,6 +219,127 @@ def record_line_sequence(p_point: CurvePoint, order: int) -> PrecomputedLines:
     return PrecomputedLines(tuple(steps), order)
 
 
+def record_line_sequence_fast(
+    p_point: CurvePoint, order: int
+) -> PrecomputedLines:
+    """:func:`record_line_sequence` with batch inversion — same steps.
+
+    The affine recorder pays one extended-Euclid inversion per loop
+    step (the slope denominator), which dominates a cold pairing.  This
+    recorder walks the identical double/add schedule in Jacobian
+    coordinates on raw integers, batch-normalizes every intermediate
+    ``V`` to affine with ONE field inversion
+    (:meth:`~repro.math.backend.base.FieldBackend.fp_batch_inv`), then
+    resolves all slope denominators with a second batch inversion.
+    Affine coordinates are canonical, so the recorded ``steps`` tuple is
+    byte-identical to :func:`record_line_sequence`'s — the two are
+    interchangeable everywhere, only the recording cost differs
+    (~8x cheaper at ss512).
+    """
+    field = p_point.curve.field
+    backend = field.backend
+    p = field.p
+    a_coeff = p_point.curve.a.value
+    px, py = p_point.x.value, p_point.y.value
+    # Walk the chain in Jacobian coordinates, remembering V's projective
+    # coordinates at each line-evaluation site (doubling lines evaluate
+    # at V *before* the doubling; addition lines at V after it).
+    x, y, z = px, py, 1
+    sched = []
+    for bit_index in range(order.bit_length() - 2, -1, -1):
+        sched.append((False, x, y, z))
+        if z == 0 or y == 0:
+            x, y, z = 1, 1, 0
+        else:
+            ysq = y * y % p
+            s = 4 * x * ysq % p
+            m = (3 * x * x + a_coeff * pow(z, 4, p)) % p
+            x, y, z = (
+                (m * m - 2 * s) % p,
+                (m * (s - (m * m - 2 * s)) - 8 * ysq * ysq) % p,
+                2 * y * z % p,
+            )
+        if (order >> bit_index) & 1:
+            sched.append((True, x, y, z))
+            if z == 0:
+                x, y, z = px, py, 1
+            else:
+                z1sq = z * z % p
+                u2 = px * z1sq % p
+                s2 = py * z1sq * z % p
+                if x == u2 and y != s2:
+                    x, y, z = 1, 1, 0
+                elif x == u2:
+                    ysq = y * y % p
+                    s = 4 * x * ysq % p
+                    m = (3 * x * x + a_coeff * pow(z, 4, p)) % p
+                    x, y, z = (
+                        (m * m - 2 * s) % p,
+                        (m * (s - (m * m - 2 * s)) - 8 * ysq * ysq) % p,
+                        2 * y * z % p,
+                    )
+                else:
+                    h = (u2 - x) % p
+                    r = (s2 - y) % p
+                    hsq = h * h % p
+                    hcu = hsq * h % p
+                    v = x * hsq % p
+                    x3 = (r * r - hcu - 2 * v) % p
+                    x, y, z = (
+                        x3,
+                        (r * (v - x3) - y * hcu) % p,
+                        z * h % p,
+                    )
+    if z != 0:
+        raise ParameterError("point order does not divide the loop order")
+    # First batch inversion: normalize every finite V to affine.
+    z_invs = iter(
+        backend.fp_batch_inv([vz for _, _, _, vz in sched if vz != 0])
+    )
+    affine = []
+    for is_add, vx, vy, vz in sched:
+        if vz == 0:
+            affine.append((is_add, None))
+        else:
+            zi = next(z_invs)
+            zi_sq = zi * zi % p
+            affine.append((is_add, (vx * zi_sq % p, vy * zi_sq * zi % p)))
+    # Second batch inversion: all slope denominators at once.
+    denominators: list[int] = []
+    metas = []
+    for is_add, coords in affine:
+        if coords is None:
+            metas.append((is_add, _ONE, 0, 0, None))
+            continue
+        xv, yv = coords
+        if is_add and xv == px and yv != py:
+            metas.append((is_add, _VERT, xv, 0, None))
+            continue
+        if is_add and xv != px:
+            numerator = (py - yv) % p
+            denominator = (px - xv) % p
+        else:
+            # Tangent at V (also the doubling-an-equal-point add case).
+            if yv == 0:
+                metas.append((is_add, _VERT, xv, 0, None))
+                continue
+            numerator = (3 * xv * xv + a_coeff) % p
+            denominator = 2 * yv % p
+        metas.append((is_add, _LINE, xv, yv, (numerator, len(denominators))))
+        denominators.append(denominator)
+    inverses = backend.fp_batch_inv(denominators) if denominators else []
+    steps = []
+    for is_add, kind, xv, yv, extra in metas:
+        if kind == _LINE:
+            numerator, inv_index = extra
+            steps.append(
+                (is_add, _LINE, xv, yv, numerator * inverses[inv_index] % p)
+            )
+        else:
+            steps.append((is_add, kind, xv, 0, 0))
+    return PrecomputedLines(tuple(steps), order)
+
+
 def evaluate_line_sequence(
     lines: PrecomputedLines,
     s_point: CurvePoint,
@@ -155,42 +349,23 @@ def evaluate_line_sequence(
 
     Performs the same ``Fp2`` squarings and multiplications as
     :func:`miller_loop_denominator_free` (so the reduced pairing value
-    is bit-for-bit identical) but no curve arithmetic.  The loop works
-    on the raw ``(a, b)`` integer coefficients — every step is the same
-    exact mod-``p`` computation :class:`QuadraticElement` would perform,
-    minus the per-step object allocations, which dominate at this level.
+    is bit-for-bit identical) but no curve arithmetic.  The integer loop
+    runs in the field's arithmetic backend
+    (:meth:`~repro.math.backend.base.FieldBackend.eval_line_sequence`):
+    the python backend executes the seed library's raw mod-``p`` loop
+    verbatim, the Montgomery backend the lazy-reduction REDC kernel —
+    canonical in, canonical out, identical bytes either way.
     """
     if s_point.is_infinity:
         raise ParameterError("cannot evaluate Miller function at infinity")
-    p = fp2.p
-    beta = fp2.beta
-    sx_a, sx_b = s_point.x.a, s_point.x.b
-    sy_a, sy_b = s_point.y.a, s_point.y.b
-    fa, fb = 1, 0
-    for is_add, kind, xv, yv, slope in lines.steps:
-        if not is_add:
-            a2 = fa * fa
-            b2 = fb * fb
-            fa, fb = (a2 + beta * b2) % p, 2 * fa * fb % p
-        if kind == _LINE:
-            va = (sy_a - yv - (sx_a - xv) * slope) % p
-            # Family A distorts to a purely-real x, so the line value's
-            # ``u`` coefficient is the constant ``sy_b`` — no multiply.
-            vb = (sy_b - sx_b * slope) % p if sx_b else sy_b
-        elif kind == _VERT:
-            va = (sx_a - xv) % p
-            vb = sx_b
-        else:
-            continue
-        if vb:
-            ac = fa * va
-            bd = fb * vb
-            fa, fb = (
-                (ac + beta * bd) % p,
-                ((fa + fb) * (va + vb) - ac - bd) % p,
-            )
-        else:
-            fa, fb = fa * va % p, fb * va % p
+    backend = fp2.backend
+    fa, fb = backend.eval_line_sequence(
+        lines.backend_steps(backend),
+        *backend.convert_coords(
+            s_point.x.a, s_point.x.b, s_point.y.a, s_point.y.b
+        ),
+        fp2.beta,
+    )
     return QuadraticElement(fp2, fa, fb)
 
 
@@ -219,6 +394,7 @@ def evaluate_line_sequences_product(
     tasks = list(tasks)
     if not tasks:
         return fp2.one()
+    backend = fp2.backend
     order = tasks[0][0].order
     length = len(tasks[0][0].steps)
     prepared = []
@@ -231,46 +407,16 @@ def evaluate_line_sequences_product(
         if s_point.is_infinity:
             raise ParameterError("cannot evaluate Miller function at infinity")
         prepared.append((
-            lines.steps,
-            s_point.x.a, s_point.x.b,
-            s_point.y.a, s_point.y.b,
+            lines.backend_steps(backend),
+            *backend.convert_coords(
+                s_point.x.a, s_point.x.b, s_point.y.a, s_point.y.b
+            ),
             conjugate,
         ))
-    # Same integer-level loop as evaluate_line_sequence, with one shared
-    # accumulator: each step squares once and folds in every task's line
-    # value (conjugation = negating the ``b`` coefficient).
-    p = fp2.p
-    beta = fp2.beta
-    shared_steps = prepared[0][0]
-    fa, fb = 1, 0
-    for index in range(length):
-        if not shared_steps[index][0]:  # is_add flag, shared by all tasks
-            a2 = fa * fa
-            b2 = fb * fb
-            fa, fb = (a2 + beta * b2) % p, 2 * fa * fb % p
-        for steps, sx_a, sx_b, sy_a, sy_b, conjugate in prepared:
-            _, kind, xv, yv, slope = steps[index]
-            if kind == _LINE:
-                va = (sy_a - yv - (sx_a - xv) * slope) % p
-                # Purely-real distorted x (family A): the ``u``
-                # coefficient is the constant ``sy_b`` — no multiply.
-                vb = (sy_b - sx_b * slope) % p if sx_b else sy_b
-            elif kind == _VERT:
-                va = (sx_a - xv) % p
-                vb = sx_b
-            else:
-                continue
-            if conjugate:
-                vb = -vb % p
-            if vb:
-                ac = fa * va
-                bd = fb * vb
-                fa, fb = (
-                    (ac + beta * bd) % p,
-                    ((fa + fb) * (va + vb) - ac - bd) % p,
-                )
-            else:
-                fa, fb = fa * va % p, fb * va % p
+    # Same integer-level kernel as evaluate_line_sequence, with one
+    # shared accumulator: each step squares once and folds in every
+    # task's line value (conjugation = negating the ``b`` coefficient).
+    fa, fb = backend.eval_line_sequences_product(prepared, fp2.beta)
     return QuadraticElement(fp2, fa, fb)
 
 

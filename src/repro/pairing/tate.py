@@ -28,6 +28,7 @@ from repro.pairing.miller import (
     miller_loop_denominator_free,
     miller_loop_general,
     record_line_sequence,
+    record_line_sequence_fast,
 )
 from repro.pairing.supersingular import FAMILY_A, SupersingularCurve
 
@@ -99,12 +100,29 @@ class TatePairing:
             raise NotInSubgroupError("pairing inputs must lie on E(Fp)")
         s_point = self.ssc.distort(q_point)
         if self.ssc.family == FAMILY_A:
-            f = miller_loop_denominator_free(
-                p_point, s_point, self.ssc.q, self.fp2
-            )
+            if self.fp2.backend.prefers_recorded_miller:
+                # Record-then-evaluate: the Jacobian recorder replaces
+                # the per-step egcd inversions (which dominate a cold
+                # affine loop) with two batch inversions, and the
+                # evaluation runs in the backend's kernel.  Byte-
+                # identical to the affine loop — see
+                # record_line_sequence_fast.
+                f = evaluate_line_sequence(
+                    self._record(p_point), s_point, self.fp2
+                )
+            else:
+                f = miller_loop_denominator_free(
+                    p_point, s_point, self.ssc.q, self.fp2
+                )
         else:
             f = self._general_miller(p_point, s_point)
         return self.final_exponentiation(f)
+
+    def _record(self, p_point: CurvePoint) -> PrecomputedLines:
+        """Record ``P``'s line sequence via the backend-preferred path."""
+        if self.fp2.backend.prefers_recorded_miller:
+            return record_line_sequence_fast(p_point, self.ssc.q)
+        return record_line_sequence(p_point, self.ssc.q)
 
     def precompute_lines(self, p_point: CurvePoint) -> PrecomputedLines:
         """Cache the Miller-loop line coefficients for a fixed ``P``.
@@ -125,7 +143,7 @@ class TatePairing:
             raise ParameterError("cannot precompute lines for infinity")
         if p_point.curve != self.ssc.curve:
             raise NotInSubgroupError("pairing inputs must lie on E(Fp)")
-        return record_line_sequence(p_point, self.ssc.q)
+        return self._record(p_point)
 
     def pair_with_precomp(
         self, lines: PrecomputedLines, q_point: CurvePoint
@@ -199,7 +217,7 @@ class TatePairing:
                 lines = (
                     first
                     if isinstance(first, PrecomputedLines)
-                    else record_line_sequence(first, self.ssc.q)
+                    else self._record(first)
                 )
                 tasks.append((lines, self.ssc.distort(q_point), exponent < 0))
             f = evaluate_line_sequences_product(tasks, self.fp2)

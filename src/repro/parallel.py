@@ -40,6 +40,7 @@ Task functions are registered at import time under stable string names
 
 from __future__ import annotations
 
+import hashlib
 import math
 import multiprocessing
 import os
@@ -94,8 +95,17 @@ def task_names() -> list[str]:
 
 _WORKER_GROUPS: dict[tuple, PairingGroup] = {}
 
+# Which shared-table blobs have already been installed into a worker's
+# rebuilt group, keyed by (group spec, blob digest).  Installing is
+# idempotent (same bytes → same cache entries) but not free, so each
+# worker pays it once per blob, not once per chunk.  Reset after fork
+# alongside the group cache: a child's groups are rebuilt empty, so the
+# installed-markers it inherited from the parent are stale.
+_WORKER_TABLE_KEYS: set[tuple] = set()
+
 if hasattr(os, "register_at_fork"):  # not available on all platforms
     os.register_at_fork(after_in_child=_WORKER_GROUPS.clear)
+    os.register_at_fork(after_in_child=_WORKER_TABLE_KEYS.clear)
 
 
 def shard_secret(blob: bytes) -> bytes:
@@ -117,7 +127,13 @@ def shard_secret(blob: bytes) -> bytes:
 
 
 def _group_spec(group: PairingGroup) -> tuple:
-    """A picklable, worker-reconstructable description of ``group``."""
+    """A picklable, worker-reconstructable description of ``group``.
+
+    Includes the backend *name* so workers compute with the same
+    arithmetic provider as the parent (results are byte-identical
+    across backends regardless; matching them keeps per-item worker
+    cost — and therefore the auto_workers model — honest).
+    """
     params = group.params
     return (
         params.name,
@@ -126,6 +142,7 @@ def _group_spec(group: PairingGroup) -> tuple:
         params.p,
         params.security_bits,
         group.family,
+        group.backend_name,
     )
 
 
@@ -133,13 +150,13 @@ def _group_from_spec(spec: tuple) -> PairingGroup:
     """Rebuild (once per worker process) the group a spec describes."""
     group = _WORKER_GROUPS.get(spec)
     if group is None:
-        name, q, c, p, security_bits, family = spec
+        name, q, c, p, security_bits, family, backend = spec
         params = PARAMETER_SETS.get(name)
         if params is None or (params.q, params.c, params.p) != (q, c, p):
             params = ParameterSet(
                 name=name, q=q, c=c, p=p, security_bits=security_bits
             )
-        group = PairingGroup(params, family)
+        group = PairingGroup(params, family, backend=backend)
         _WORKER_GROUPS[spec] = group
     return group
 
@@ -167,11 +184,17 @@ def available_workers() -> int:
 # factor, else the model stays sequential — near break-even the pool's
 # unmodeled costs (scheduler noise, memory pressure) make it a loss.
 WORKER_WARMUP_ITEM_COST = 4.0
+# Warmup when the parent ships precomputed Miller-line tables along with
+# the batch (shared_tables): workers skip re-recording lines on their
+# first chunk, so the modeled warmup drops — installing a table blob is
+# deserialization, a fraction of recording it.
+WORKER_WARMUP_WITH_TABLES_COST = 2.0
 PARALLEL_ITEM_OVERHEAD = 0.1
 AUTO_SPEEDUP_MARGIN = 0.95
 
 
-def auto_workers(item_count: int, cpus: int | None = None) -> int:
+def auto_workers(item_count: int, cpus: int | None = None,
+                 warmup: float | None = None) -> int:
     """Pick a worker count for ``item_count`` items, or 1 for sequential.
 
     A deliberately simple cost model: sequential cost is ``item_count``;
@@ -181,14 +204,22 @@ def auto_workers(item_count: int, cpus: int | None = None) -> int:
     best pool beats sequential by :data:`AUTO_SPEEDUP_MARGIN`.  Small
     batches and single-CPU hosts therefore fall back to sequential
     instead of paying fork/import cost for nothing.
+
+    ``warmup`` overrides the modeled per-batch warmup cost (in items):
+    :data:`WORKER_WARMUP_ITEM_COST` by default,
+    :data:`WORKER_WARMUP_WITH_TABLES_COST` when the caller ships
+    precomputed tables — batches slightly too small to fork cold become
+    worth forking warm.
     """
     if item_count <= 1:
         return 1
+    if warmup is None:
+        warmup = WORKER_WARMUP_ITEM_COST
     cpus = available_workers() if cpus is None else max(1, cpus)
     best_workers = 1
     best_cost = float(item_count)
     for workers in range(2, min(cpus, item_count) + 1):
-        cost = WORKER_WARMUP_ITEM_COST + math.ceil(item_count / workers) * (
+        cost = warmup + math.ceil(item_count / workers) * (
             1.0 + PARALLEL_ITEM_OVERHEAD
         )
         if cost < best_cost:
@@ -212,10 +243,15 @@ def _default_start_method() -> str:
 
 def _execute_chunk(job: tuple) -> tuple[str, object]:
     """Worker entry point: run one chunk, never raise across the pipe."""
-    task_name, spec, setup, chunk = job
+    task_name, spec, tables, setup, chunk = job
     try:
         fn = _TASKS[task_name]
         group = _group_from_spec(spec)
+        if tables:
+            key = (spec, hashlib.sha256(tables).digest())
+            if key not in _WORKER_TABLE_KEYS:
+                group.install_pairing_lines(tables)
+                _WORKER_TABLE_KEYS.add(key)
         results = list(fn(group, setup, list(chunk)))
         if len(results) != len(chunk):
             raise ParallelExecutionError(
@@ -236,6 +272,7 @@ def parallel_map(
     workers: int | None = None,
     chunk_size: int | None = None,
     start_method: str | None = None,
+    shared_tables: bytes | None = None,
 ) -> list[bytes]:
     """Run a registered task over ``payloads``, sharded across processes.
 
@@ -245,12 +282,18 @@ def parallel_map(
         A name from :func:`task_names`.
     group:
         The parent's pairing group; workers rebuild an equivalent one
-        from its parameter set.
+        from its parameter set (same family and backend).
     setup:
         Task-wide context (already byte-encoded), handed to every chunk.
     payloads:
         Byte-encoded work items; one result blob is returned per item,
         in order.
+    shared_tables:
+        Optional :meth:`~repro.pairing.api.PairingGroup.export_pairing_lines`
+        blob.  Each worker installs it into its rebuilt group exactly
+        once (idempotently, keyed by content digest), so Miller lines
+        the parent recorded once are never re-recorded per worker —
+        the warm-up cost the auto model then discounts.
     workers:
         Process count.  ``None`` means :func:`auto_workers` — the cost
         model picks a count from the batch size and available CPUs, and
@@ -276,10 +319,19 @@ def parallel_map(
     if not payloads:
         return []
     if workers is None:
-        workers = auto_workers(len(payloads))
+        workers = auto_workers(
+            len(payloads),
+            warmup=(
+                WORKER_WARMUP_WITH_TABLES_COST
+                if shared_tables
+                else WORKER_WARMUP_ITEM_COST
+            ),
+        )
 
     if workers <= 1 or len(payloads) == 1:
-        status, value = _execute_chunk((task, _group_spec(group), setup, payloads))
+        status, value = _execute_chunk(
+            (task, _group_spec(group), shared_tables, setup, payloads)
+        )
         if status != "ok":
             raise ParallelExecutionError(
                 f"task {task!r} failed (sequential fallback): {value}"
@@ -294,7 +346,7 @@ def parallel_map(
         payloads[i : i + chunk_size]
         for i in range(0, len(payloads), chunk_size)
     ]
-    jobs = [(task, spec, setup, chunk) for chunk in chunks]
+    jobs = [(task, spec, shared_tables, setup, chunk) for chunk in chunks]
     context = multiprocessing.get_context(start_method or _default_start_method())
     with context.Pool(processes=min(workers, len(chunks))) as pool:
         outcomes = pool.map(_execute_chunk, jobs)
